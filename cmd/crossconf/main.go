@@ -1,0 +1,71 @@
+// Command crossconf prints the cross-configuration performance matrix
+// (Table 5) and the derived percentage-slowdown matrix (Appendix A), either
+// from the paper's published data or regenerated end-to-end by exploring
+// the synthetic suite and simulating every workload on every customized
+// configuration.
+//
+// Usage:
+//
+//	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/core"
+	"xpscalar/internal/report"
+	"xpscalar/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossconf: ")
+
+	var (
+		source   = flag.String("source", "paper", "matrix source: paper (published Table 5) or sim (regenerate)")
+		slowdown = flag.Bool("slowdown", false, "print the Appendix A percentage-slowdown matrix")
+		mark     = flag.String("mark", "", "star the links of a surrogate policy: none|forward|full")
+		n        = flag.Int("n", 60000, "instructions per cross-configuration evaluation (sim source)")
+		iters    = flag.Int("iterations", 200, "annealing iterations (sim source)")
+		seed     = flag.Int64("seed", 42, "seed (sim source)")
+		saveM    = flag.String("savematrix", "", "write the matrix to this JSON file")
+	)
+	flag.Parse()
+
+	m, err := cli.LoadMatrix(*source, cli.MatrixOptions{Instructions: *n, Iterations: *iters, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saveM != "" {
+		if err := store.SaveMatrix(*saveM, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *slowdown {
+		var g *core.SurrogateGraph
+		if *mark != "" {
+			policy, err := cli.ParsePolicy(*mark)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if g, err = core.GreedySurrogates(m, policy, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("Percentage slowdown on other benchmarks' customized cores (Appendix A)")
+		if err := report.SlowdownMatrix(os.Stdout, m, g); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("Cross-configuration IPT matrix (Table 5): rows = workloads, columns = architectures")
+	if err := report.CrossMatrix(os.Stdout, m); err != nil {
+		log.Fatal(err)
+	}
+}

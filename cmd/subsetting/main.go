@@ -1,0 +1,144 @@
+// Command subsetting runs the conventional workload-subsetting baseline:
+// it extracts microarchitecture-independent characteristics from the
+// synthetic suite, renders their Kiviat vectors (Figure 1), clusters them
+// into a dendrogram, and — for contrast — clusters the paper's published
+// customized configurations with k-means under selectable normalization
+// (the Lee & Brooks-style approach whose normalization sensitivity the
+// paper criticizes).
+//
+// Usage:
+//
+//	subsetting [-kiviat] [-dendrogram] [-kmeans k] [-norm none|minmax|zscore] [-n instr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/report"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/subsetting"
+	"xpscalar/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subsetting: ")
+
+	var (
+		kiviat = flag.Bool("kiviat", false, "print Kiviat vectors of the Figure 1 illustrative workloads and the suite")
+		dendro = flag.Bool("dendrogram", false, "print the raw-characteristics dendrogram of the suite")
+		kmeans = flag.Int("kmeans", 0, "k-means over the paper's Table 4 configuration vectors with this k")
+		norm   = flag.String("norm", "minmax", "k-means normalization: none|minmax|zscore")
+		n      = flag.Int("n", 50000, "instructions per characteristic extraction")
+	)
+	flag.Parse()
+	if !*kiviat && !*dendro && *kmeans == 0 {
+		*kiviat, *dendro = true, true
+	}
+
+	if *kiviat {
+		fmt.Println("Illustrative workloads α, β, γ (Figure 1)")
+		printKiviats(workload.IllustrativeProfiles(), *n)
+		fmt.Println("\nSynthetic SPEC2000 suite")
+		printKiviats(workload.Suite(), *n)
+	}
+
+	if *dendro {
+		fmt.Println("\nRaw-characteristics dendrogram (average linkage)")
+		cs := extract(workload.Suite(), *n)
+		ks, err := subsetting.KiviatSet(cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		features := make([][]float64, len(ks))
+		names := make([]string, len(ks))
+		for i, k := range ks {
+			features[i] = k.Axes[:]
+			names[i] = k.Name
+		}
+		root, err := subsetting.Dendrogram(subsetting.DistanceMatrix(features), subsetting.AverageLinkage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.Dendrogram(os.Stdout, root, names); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *kmeans > 0 {
+		normalization := map[string]subsetting.Normalization{
+			"none": subsetting.NormNone, "minmax": subsetting.NormMinMax, "zscore": subsetting.NormZScore,
+		}[*norm]
+		fmt.Printf("\nK-means over published Table 4 configuration vectors (k=%d, %s normalization)\n", *kmeans, *norm)
+		configs, names := paperConfigVectors()
+		res, err := subsetting.KMeans(configs, *kmeans, normalization)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for ci, set := range subsetting.ClusterSets(res.Assign, *kmeans) {
+			var members []string
+			for _, i := range set {
+				members = append(members, names[i])
+			}
+			fmt.Printf("  cluster %d: %s\n", ci+1, strings.Join(members, ", "))
+		}
+	}
+}
+
+func extract(profiles []workload.Profile, n int) []workload.Characteristics {
+	var cs []workload.Characteristics
+	for _, p := range profiles {
+		c, err := workload.Extract(p, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func printKiviats(profiles []workload.Profile, n int) {
+	cs := extract(profiles, n)
+	ks, err := subsetting.KiviatSet(cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range ks {
+		if err := report.Kiviat(os.Stdout, k); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// paperConfigVectors converts the published Table 4 configurations to
+// feature vectors via the sim.Config encoding.
+func paperConfigVectors() ([][]float64, []string) {
+	// Import the published configurations through paperdata-equivalent
+	// sim configs: reuse sim.Config.Vector's encoding with the published
+	// parameters.
+	var vectors [][]float64
+	var names []string
+	for _, o := range paperConfigs() {
+		vectors = append(vectors, o.Vector())
+		names = append(names, o.name)
+	}
+	return vectors, names
+}
+
+type namedConfig struct {
+	sim.Config
+	name string
+}
+
+func paperConfigs() []namedConfig {
+	var out []namedConfig
+	for _, c := range cli.PaperTable4Configs() {
+		out = append(out, namedConfig{Config: c.Config, name: c.Name})
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Command xpscalar runs the design-space exploration: a simulated-annealing
+// search for the customized architectural configuration of each synthetic
+// SPEC2000-like workload (regenerating the paper's Table 4), followed by a
+// cross-seeding round, printing the configurational characteristics and the
+// achieved IPT per workload.
+//
+// Usage:
+//
+//	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"xpscalar/internal/explore"
+	"xpscalar/internal/power"
+	"xpscalar/internal/report"
+	"xpscalar/internal/store"
+	"xpscalar/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xpscalar: ")
+
+	var (
+		only   = flag.String("workload", "", "explore a single workload (default: whole suite)")
+		iters  = flag.Int("iterations", 300, "annealing iterations per chain")
+		chains = flag.Int("chains", 4, "parallel annealing chains per workload")
+		short  = flag.Int("short", 20000, "instructions per evaluation, early phase")
+		long   = flag.Int("long", 60000, "instructions per evaluation, refinement phase")
+		seed   = flag.Int64("seed", 42, "exploration seed")
+		obj    = flag.String("objective", "ipt", "exploration objective: ipt|ipt-per-watt|edp|ed2p")
+		save   = flag.String("save", "", "write outcomes to this JSON file")
+	)
+	flag.Parse()
+
+	opt := explore.DefaultOptions(*seed)
+	opt.Iterations = *iters
+	opt.Chains = *chains
+	opt.ShortBudget = *short
+	opt.LongBudget = *long
+	switch *obj {
+	case "ipt":
+		opt.Objective = power.ObjIPT
+	case "ipt-per-watt":
+		opt.Objective = power.ObjIPTPerWatt
+	case "edp":
+		opt.Objective = power.ObjInverseEDP
+	case "ed2p":
+		opt.Objective = power.ObjInverseED2P
+	default:
+		log.Fatalf("unknown -objective %q", *obj)
+	}
+
+	profiles := workload.Suite()
+	if *only != "" {
+		p, ok := workload.ByName(*only)
+		if !ok {
+			log.Fatalf("unknown workload %q", *only)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	start := time.Now()
+	outs, err := explore.Suite(profiles, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := &report.Table{Header: []string{
+		"workload", "IPT", "clock(ns)", "GHz", "width", "fe", "rob", "iq", "lsq",
+		"sched", "wake", "L1D", "L1lat", "L2", "L2lat", "mem", "evals",
+	}}
+	for _, o := range outs {
+		c := o.Best
+		tab.AddRow(
+			o.Workload,
+			fmt.Sprintf("%.3f", o.BestIPT),
+			fmt.Sprintf("%.2f", c.ClockNs),
+			fmt.Sprintf("%.2f", c.FrequencyGHz()),
+			fmt.Sprint(c.Width),
+			fmt.Sprint(c.FrontEndStages),
+			fmt.Sprint(c.ROBSize),
+			fmt.Sprint(c.IQSize),
+			fmt.Sprint(c.LSQSize),
+			fmt.Sprint(c.SchedDepth),
+			fmt.Sprint(c.WakeupMinLat),
+			c.L1D.String(),
+			fmt.Sprint(c.L1DLat),
+			c.L2.String(),
+			fmt.Sprint(c.L2Lat),
+			fmt.Sprint(c.MemCycles),
+			fmt.Sprint(o.Evaluations),
+		)
+	}
+	fmt.Println("Customized architectural configurations (Table 4 analogue)")
+	if err := tab.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexploration wall time: %v\n", time.Since(start).Round(time.Second))
+
+	if *save != "" {
+		if err := store.SaveOutcomes(*save, outs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("outcomes saved to %s\n", *save)
+	}
+}

@@ -1,0 +1,51 @@
+// Command xpviz is the visualization tool the paper ships with xp-scalar
+// (§3): it renders the cross-configuration performance of the benchmarks on
+// each other's customized configurations as a heat map, easing the
+// identification of discrepancies — workloads whose architectures carry
+// others well (light columns) and workloads nothing else serves (dark
+// rows).
+//
+// Usage:
+//
+//	xpviz [-source paper|sim]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/report"
+	"xpscalar/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xpviz: ")
+
+	source := flag.String("source", "paper", "matrix source: paper or sim")
+	flag.Parse()
+
+	m, err := cli.LoadMatrix(*source, cli.DefaultMatrixOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Cross-configuration slowdown heat map (rows: workloads, columns: architectures)")
+	fmt.Println()
+	if err := report.Heatmap(os.Stdout, m); err != nil {
+		log.Fatal(err)
+	}
+
+	// Column summary: how well each architecture serves the whole suite.
+	fmt.Println("\narchitecture generality (harmonic-mean IPT of the suite on each single arch):")
+	for a, name := range m.Names {
+		col := make([]float64, m.N())
+		for w := 0; w < m.N(); w++ {
+			col[w] = m.IPT[w][a]
+		}
+		fmt.Printf("  %-8s %.3f\n", name, stats.HarmonicMean(col))
+	}
+}

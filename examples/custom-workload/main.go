@@ -1,0 +1,74 @@
+// Custom-workload: using the library on a workload that is not part of the
+// built-in suite. Define a profile for a hypothetical streaming-analytics
+// kernel, characterize it, customize a core to it under both the raw-
+// performance objective and the energy-delay-product objective (the
+// power/area extension the paper proposes), and compare the two designs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpscalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	tech := xpscalar.DefaultTech()
+
+	// A user-defined workload: heavy sequential streaming over a large
+	// buffer, few branches, shallow dependence chains.
+	streamer := xpscalar.Profile{
+		Name:     "streamer",
+		LoadFrac: 0.32, StoreFrac: 0.16, BranchFrac: 0.06, MulFrac: 0.04,
+		WorkingSetBytes: 16 << 20, HotSetBytes: 256 << 10,
+		HotFrac: 0.5, SeqFrac: 0.7, StrideBytes: 8,
+		BranchSites: 24, LoopFrac: 0.9, LoopTrip: 64,
+		TakenBias: 0.9, RandomEntropy: 0.05,
+		DepDensity: 0.45, DepDistMean: 8,
+		Seed: 991,
+	}
+
+	c, err := xpscalar.Characterize(streamer, 60_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamer characteristics: %.0f 64B blocks touched, %.1f%% loads, %.1f%% branches, %.1f%% predictable\n",
+		float64(c.WorkingSetBlocks), c.LoadFrac*100, c.BranchFrac*100, c.BranchPredictability*100)
+
+	opt := xpscalar.DefaultExploreOptions(123)
+	opt.Iterations = 80
+	opt.Chains = 2
+
+	// Customize for raw performance.
+	perf, err := xpscalar.Explore(streamer, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Customize for energy-delay product.
+	opt.Objective = xpscalar.ObjInverseEDP
+	edp, err := xpscalar.Explore(streamer, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, cfg xpscalar.Config) {
+		res, err := xpscalar.Run(cfg, streamer, 60_000, tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := xpscalar.EvaluatePower(res, tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n  %v\n", label, cfg)
+		fmt.Printf("  IPT %.3f   power %.1fW   area %.1fmm²   EDP %.3f nJ·ns\n",
+			res.IPT(), rep.TotalWatts, rep.AreaMm2, rep.EDP())
+	}
+	show("performance-optimal core (IPT objective)", perf.Best)
+	show("efficiency-optimal core (1/EDP objective)", edp.Best)
+
+	fmt.Println("\nThe efficiency objective trades peak IPT for a leaner core — the combined")
+	fmt.Println("performance/power/area exploration the paper's §3 sketches as future work.")
+}

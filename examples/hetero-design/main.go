@@ -1,0 +1,95 @@
+// Hetero-design: the full communal-customization pipeline of the paper on a
+// four-workload subset — explore each workload's customized configuration
+// (configurational characterization), build the cross-configuration matrix,
+// and choose the best dual-core heterogeneous CMP under each figure of
+// merit, comparing against the best homogeneous design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"xpscalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	tech := xpscalar.DefaultTech()
+
+	// Contrasting corners of the suite: memory-bound (mcf), control-heavy
+	// but predictable (crafty), streaming (gzip), hard-branch mid-size
+	// (twolf).
+	var profiles []xpscalar.Profile
+	for _, name := range []string{"crafty", "gzip", "mcf", "twolf"} {
+		p, ok := xpscalar.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("no profile %s", name)
+		}
+		profiles = append(profiles, p)
+	}
+
+	// 1. Configurational characterization: a customized configuration per
+	//    workload (simulated annealing with cross-seeding).
+	opt := xpscalar.DefaultExploreOptions(7)
+	opt.Iterations = 80
+	opt.Chains = 2
+	start := time.Now()
+	outs, err := xpscalar.ExploreSuite(profiles, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d workloads in %v\n\n", len(outs), time.Since(start).Round(time.Second))
+	configs := make([]xpscalar.Config, len(outs))
+	for i, o := range outs {
+		configs[i] = o.Best
+		fmt.Printf("%-7s IPT %.3f  %v\n", o.Workload, o.BestIPT, o.Best)
+	}
+
+	// 2. Cross-configuration matrix: every workload on every customized
+	//    architecture.
+	m, err := xpscalar.CrossMatrix(profiles, configs, 40_000, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncross-configuration IPT (rows: workloads, cols: architectures):")
+	fmt.Printf("%-8s", "")
+	for _, n := range m.Names {
+		fmt.Printf(" %7s", n)
+	}
+	fmt.Println()
+	for i, n := range m.Names {
+		fmt.Printf("%-8s", n)
+		for j := range m.Names {
+			fmt.Printf(" %7.3f", m.IPT[i][j])
+		}
+		fmt.Println()
+	}
+
+	// 3. Communal customization: exhaustive dual-core search per metric.
+	fmt.Println("\nbest dual-core combinations:")
+	for _, metric := range []xpscalar.Metric{xpscalar.MetricAvg, xpscalar.MetricHar, xpscalar.MetricCWHar} {
+		c, err := m.BestCombination(2, metric, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7v -> {%s}  avg %.3f  har %.3f\n",
+			metric, strings.Join(m.ArchNames(c.Archs), ", "), c.AvgIPT, c.HarIPT)
+	}
+
+	// 4. The heterogeneity payoff: best homogeneous single core vs the
+	//    har-optimal pair.
+	single, err := m.BestCombination(1, xpscalar.MetricHar, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := m.BestCombination(2, xpscalar.MetricHar, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nharmonic-mean IPT: best single core {%s} %.3f -> best pair {%s} %.3f (%.1f%% speedup)\n",
+		strings.Join(m.ArchNames(single.Archs), ","), single.HarIPT,
+		strings.Join(m.ArchNames(pair.Archs), ","), pair.HarIPT,
+		(pair.HarIPT/single.HarIPT-1)*100)
+}

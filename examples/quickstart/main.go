@@ -1,0 +1,64 @@
+// Quickstart: simulate one workload on the paper's initial configuration
+// (Table 3), inspect the result, and show the fit-to-clock discipline of
+// Figure 2 — how the clock period couples the sizing of the issue queue and
+// L1 cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpscalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	tech := xpscalar.DefaultTech()
+
+	// 1. Pick a workload and the paper's Table 3 starting configuration.
+	gzip, ok := xpscalar.WorkloadByName("gzip")
+	if !ok {
+		log.Fatal("no gzip profile")
+	}
+	cfg := xpscalar.InitialConfig(tech)
+	fmt.Println("initial configuration (Table 3):")
+	fmt.Println(" ", cfg)
+
+	// 2. Simulate 100k instructions and report IPC and IPT.
+	res, err := xpscalar.Run(cfg, gzip, 100_000, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngzip on the initial configuration:\n")
+	fmt.Printf("  IPC            %.3f\n", res.IPC())
+	fmt.Printf("  IPT            %.3f instructions/ns\n", res.IPT())
+	fmt.Printf("  mispredicts    %.2f%%\n", res.Branch.MispredictRate()*100)
+	fmt.Printf("  L1 miss rate   %.2f%%\n", res.L1.MissRate()*100)
+	fmt.Printf("  L2 miss rate   %.2f%%\n", res.L2.MissRate()*100)
+
+	// 3. Figure 2's point: the same workload under different clock
+	//    periods, with every unit re-fitted to its stage budget. A faster
+	//    clock shrinks what fits in one cycle; a slower clock buys bigger
+	//    structures per stage.
+	fmt.Println("\nclock-period coupling (Figure 2):")
+	for _, clock := range []float64{0.45, 0.33, 0.25} {
+		c := cfg
+		c.ClockNs = clock
+		// Re-fit the structures the paper's scenarios vary.
+		c.FrontEndStages = xpscalar.FrontEndStages(clock, tech)
+		c.MemCycles = xpscalar.MemoryCycles(clock, tech)
+		c.IQSize = xpscalar.FitIQ(clock, c.SchedDepth, c.Width, tech)
+		c.ROBSize = xpscalar.FitROB(clock, c.SchedDepth, c.Width, tech)
+		if c.IQSize > c.ROBSize {
+			c.IQSize = c.ROBSize
+		}
+		r, err := xpscalar.Run(c, gzip, 100_000, tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  clock %.2fns: IQ %3d, ROB %4d, FE %2d stages -> IPC %.3f, IPT %.3f\n",
+			clock, c.IQSize, c.ROBSize, c.FrontEndStages, r.IPC(), r.IPT())
+	}
+	fmt.Println("\nNeither extreme wins universally — which is why the paper explores the")
+	fmt.Println("clock period as a first-class design parameter per workload.")
+}

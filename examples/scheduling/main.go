@@ -1,0 +1,82 @@
+// Scheduling: the paper's §5.5 multiprogrammed scenario. A dual-core
+// heterogeneous CMP chosen by complete search serves a stream of jobs; we
+// compare stalling for each job's designated core against redirecting to
+// the next-best available core, then show how a BPMST-balanced assignment
+// behaves as arrivals become bursty.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xpscalar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := xpscalar.PaperMatrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Complete-search dual-core system ({gcc, mcf} on the paper's data).
+	pick, err := m.BestCombination(2, xpscalar.MetricHar, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selSys, err := xpscalar.MTSystemFromSelection(m, pick.Archs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete-search cores: {%s}\n", strings.Join(m.ArchNames(pick.Archs), ", "))
+
+	// BPMST-balanced alternative.
+	part, err := xpscalar.BPMST(m, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bpSys, err := xpscalar.MTSystemFromPartition(m, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BPMST cores:           {%s}\n", strings.Join(m.ArchNames(part.Archs), ", "))
+	for gi, grp := range part.Groups {
+		var names []string
+		for _, w := range grp {
+			names = append(names, m.Names[w])
+		}
+		fmt.Printf("  group %d (%s): %s\n", gi+1, m.Names[part.Archs[gi]], strings.Join(names, ", "))
+	}
+
+	run := func(label string, sys xpscalar.MTSystem, burst float64, policy int) {
+		pol := xpscalar.StallForDesignated
+		if policy == 1 {
+			pol = xpscalar.NextBestAvailable
+		}
+		met, err := xpscalar.MTSimulate(sys, xpscalar.MTArrivals{
+			Jobs: 3000, MeanInterarrival: 25, MeanWork: 50, Burstiness: burst, Seed: 11,
+		}, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %-22v burst=%.0f  turnaround %7.1f  svc-slow %5.1f%%  redirects %4d\n",
+			label, pol, burst, met.AvgTurnaround, met.AvgServiceSlow*100, met.Redirections)
+	}
+
+	fmt.Println("\nsmooth Poisson arrivals:")
+	run("complete-search", selSys, 0, 0)
+	run("complete-search", selSys, 0, 1)
+	run("bpmst", bpSys, 0, 0)
+	run("bpmst", bpSys, 0, 1)
+
+	fmt.Println("\nbursty arrivals (batches, same long-run rate):")
+	for _, burst := range []float64{2, 6} {
+		run("complete-search", selSys, burst, 0)
+		run("bpmst", bpSys, burst, 0)
+	}
+	fmt.Println("\nUnder burstiness, the single-thread-optimal core pair funnels most job")
+	fmt.Println("types onto one core; the balanced partition degrades far more gracefully —")
+	fmt.Println("the §5.5 argument for BPMST-style surrogate assignment.")
+}

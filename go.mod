@@ -1,0 +1,3 @@
+module xpscalar
+
+go 1.22

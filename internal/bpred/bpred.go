@@ -1,0 +1,271 @@
+// Package bpred implements the dynamic branch direction predictors used by
+// the pipeline model: bimodal, gshare, and a McFarling-style combining
+// predictor, plus a branch target buffer for taken-branch redirection.
+//
+// The paper keeps the predictor organization fixed across configurations
+// (it is not among the Table 4 parameters) but the predictor still matters:
+// workload branch predictability interacts with front-end depth to set the
+// misprediction penalty, one of the interdependencies that motivates
+// configurational characterization.
+package bpred
+
+import "fmt"
+
+// Kind selects the predictor organization.
+type Kind int
+
+const (
+	// Bimodal indexes a table of two-bit counters by PC alone.
+	Bimodal Kind = iota
+	// GShare XORs the global history register into the PC index.
+	GShare
+	// Combined runs bimodal and gshare with a chooser table.
+	Combined
+	// Static predicts every branch taken; a degenerate baseline.
+	Static
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Bimodal:
+		return "bimodal"
+	case GShare:
+		return "gshare"
+	case Combined:
+		return "combined"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config describes a predictor instance.
+type Config struct {
+	Kind      Kind
+	TableBits int // log2 of counter-table entries
+	HistBits  int // global history length (gshare/combined)
+}
+
+// DefaultConfig is the fixed predictor used across all explored
+// configurations: a 16K-entry gshare with 12 bits of history.
+func DefaultConfig() Config {
+	return Config{Kind: GShare, TableBits: 14, HistBits: 12}
+}
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	if c.Kind == Static {
+		return nil
+	}
+	if c.TableBits < 1 || c.TableBits > 24 {
+		return fmt.Errorf("bpred: table bits %d out of range [1,24]", c.TableBits)
+	}
+	if (c.Kind == GShare || c.Kind == Combined) && (c.HistBits < 0 || c.HistBits > c.TableBits) {
+		return fmt.Errorf("bpred: history bits %d out of range [0,%d]", c.HistBits, c.TableBits)
+	}
+	return nil
+}
+
+// Predictor predicts conditional branch directions. Implementations are
+// deterministic and not safe for concurrent use; the pipeline owns one.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction. Callers
+	// must invoke Update exactly once per predicted branch, in order.
+	Update(pc uint64, taken bool)
+	// Stats returns cumulative prediction counts.
+	Stats() Stats
+}
+
+// Stats counts predictor outcomes.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns the fraction of lookups that were mispredicted.
+func (s Stats) MispredictRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// New constructs a predictor from the configuration.
+func New(c Config) (Predictor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	switch c.Kind {
+	case Static:
+		return &static{}, nil
+	case Bimodal:
+		return newBimodal(c.TableBits), nil
+	case GShare:
+		return newGShare(c.TableBits, c.HistBits), nil
+	case Combined:
+		return &combined{
+			bim: newBimodal(c.TableBits),
+			gsh: newGShare(c.TableBits, c.HistBits),
+			sel: make([]uint8, 1<<c.TableBits),
+		}, nil
+	default:
+		return nil, fmt.Errorf("bpred: unknown kind %v", c.Kind)
+	}
+}
+
+// counterUp/Down saturate a 2-bit counter.
+func counterUp(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func counterDown(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type static struct{ stats Stats }
+
+func (s *static) Predict(uint64) bool { return true }
+func (s *static) Update(_ uint64, taken bool) {
+	s.stats.Lookups++
+	if !taken {
+		s.stats.Mispredicts++
+	}
+}
+func (s *static) Stats() Stats { return s.stats }
+
+type bimodal struct {
+	table []uint8
+	mask  uint64
+	// lastPred remembers the most recent prediction per Update contract.
+	lastPred bool
+	stats    Stats
+}
+
+func newBimodal(bits int) *bimodal {
+	n := 1 << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+func (b *bimodal) Predict(pc uint64) bool {
+	b.lastPred = b.table[b.idx(pc)] >= 2
+	return b.lastPred
+}
+
+func (b *bimodal) Update(pc uint64, taken bool) {
+	b.stats.Lookups++
+	if b.lastPred != taken {
+		b.stats.Mispredicts++
+	}
+	i := b.idx(pc)
+	if taken {
+		b.table[i] = counterUp(b.table[i])
+	} else {
+		b.table[i] = counterDown(b.table[i])
+	}
+}
+
+func (b *bimodal) Stats() Stats { return b.stats }
+
+type gshare struct {
+	table    []uint8
+	mask     uint64
+	hist     uint64
+	histMask uint64
+	lastPred bool
+	stats    Stats
+}
+
+func newGShare(tableBits, histBits int) *gshare {
+	n := 1 << tableBits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &gshare{table: t, mask: uint64(n - 1), histMask: (1 << histBits) - 1}
+}
+
+func (g *gshare) idx(pc uint64) uint64 { return ((pc >> 2) ^ g.hist) & g.mask }
+
+func (g *gshare) Predict(pc uint64) bool {
+	g.lastPred = g.table[g.idx(pc)] >= 2
+	return g.lastPred
+}
+
+func (g *gshare) Update(pc uint64, taken bool) {
+	g.stats.Lookups++
+	if g.lastPred != taken {
+		g.stats.Mispredicts++
+	}
+	i := g.idx(pc)
+	if taken {
+		g.table[i] = counterUp(g.table[i])
+	} else {
+		g.table[i] = counterDown(g.table[i])
+	}
+	g.hist = ((g.hist << 1) | b2u(taken)) & g.histMask
+}
+
+func (g *gshare) Stats() Stats { return g.stats }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type combined struct {
+	bim      *bimodal
+	gsh      *gshare
+	sel      []uint8 // >=2 favours gshare
+	lastBim  bool
+	lastGsh  bool
+	lastPred bool
+	stats    Stats
+}
+
+func (c *combined) Predict(pc uint64) bool {
+	c.lastBim = c.bim.Predict(pc)
+	c.lastGsh = c.gsh.Predict(pc)
+	if c.sel[(pc>>2)&uint64(len(c.sel)-1)] >= 2 {
+		c.lastPred = c.lastGsh
+	} else {
+		c.lastPred = c.lastBim
+	}
+	return c.lastPred
+}
+
+func (c *combined) Update(pc uint64, taken bool) {
+	c.stats.Lookups++
+	if c.lastPred != taken {
+		c.stats.Mispredicts++
+	}
+	// Train the chooser toward whichever component was right.
+	i := (pc >> 2) & uint64(len(c.sel)-1)
+	if c.lastGsh == taken && c.lastBim != taken {
+		c.sel[i] = counterUp(c.sel[i])
+	} else if c.lastBim == taken && c.lastGsh != taken {
+		c.sel[i] = counterDown(c.sel[i])
+	}
+	c.bim.Update(pc, taken)
+	c.gsh.Update(pc, taken)
+	// The components counted their own lookups; only the combined
+	// top-level stats are meaningful to callers.
+}
+
+func (c *combined) Stats() Stats { return c.stats }

@@ -1,0 +1,222 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, c Config) Predictor {
+	t.Helper()
+	p, err := New(c)
+	if err != nil {
+		t.Fatalf("New(%+v) = %v", c, err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		DefaultConfig(),
+		{Kind: Bimodal, TableBits: 10},
+		{Kind: Combined, TableBits: 12, HistBits: 10},
+		{Kind: Static},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Kind: Bimodal, TableBits: 0},
+		{Kind: GShare, TableBits: 30},
+		{Kind: GShare, TableBits: 10, HistBits: 12}, // history exceeds index
+		{Kind: Kind(99), TableBits: 10},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestStaticAlwaysTaken(t *testing.T) {
+	p := mustNew(t, Config{Kind: Static})
+	if !p.Predict(0x400000) {
+		t.Error("static predictor must predict taken")
+	}
+	p.Update(0x400000, false)
+	p.Update(0x400000, true)
+	s := p.Stats()
+	if s.Lookups != 2 || s.Mispredicts != 1 {
+		t.Errorf("stats = %+v, want 2 lookups 1 mispredict", s)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := mustNew(t, Config{Kind: Bimodal, TableBits: 10})
+	pc := uint64(0x400100)
+	// Strongly not-taken branch: after warmup, it must be predicted
+	// not-taken every time.
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Error("bimodal failed to learn a 100%-not-taken branch")
+	}
+}
+
+func TestBimodalHysteresis(t *testing.T) {
+	p := mustNew(t, Config{Kind: Bimodal, TableBits: 10})
+	pc := uint64(0x400200)
+	for i := 0; i < 10; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	// One anomalous not-taken must not flip a saturated counter.
+	p.Predict(pc)
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Error("one not-taken flipped a saturated taken counter")
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is a trivial
+	// pattern for global history.
+	g := mustNew(t, Config{Kind: GShare, TableBits: 12, HistBits: 8})
+	b := mustNew(t, Config{Kind: Bimodal, TableBits: 12})
+	pc := uint64(0x400300)
+	var gHits, bHits int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) == taken {
+			gHits++
+		}
+		g.Update(pc, taken)
+		if b.Predict(pc) == taken {
+			bHits++
+		}
+		b.Update(pc, taken)
+	}
+	if float64(gHits)/n < 0.95 {
+		t.Errorf("gshare hit rate %.3f on alternating branch, want > 0.95", float64(gHits)/n)
+	}
+	if bHits > gHits {
+		t.Errorf("bimodal (%d) outperformed gshare (%d) on a pattern branch", bHits, gHits)
+	}
+}
+
+func TestGShareLearnsLoopExit(t *testing.T) {
+	// Pattern TTTN repeating: learnable with >= 4 history bits.
+	g := mustNew(t, Config{Kind: GShare, TableBits: 12, HistBits: 8})
+	pc := uint64(0x400400)
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%4 != 3
+		if g.Predict(pc) == taken {
+			hits++
+		}
+		g.Update(pc, taken)
+	}
+	if rate := float64(hits) / n; rate < 0.95 {
+		t.Errorf("gshare hit rate %.3f on TTTN loop, want > 0.95", rate)
+	}
+}
+
+func TestCombinedTracksBetterComponent(t *testing.T) {
+	// Mixed workload: one alternating branch (gshare-friendly) and one
+	// heavily biased branch (bimodal-friendly, aliased history). The
+	// combined predictor should do at least as well as the worst
+	// component and close to the best.
+	rng := rand.New(rand.NewSource(7))
+	run := func(kind Kind) float64 {
+		p := mustNew(t, Config{Kind: kind, TableBits: 12, HistBits: 10})
+		hits, n := 0, 6000
+		for i := 0; i < n; i++ {
+			pc := uint64(0x400500)
+			taken := i%2 == 0
+			if rng.Intn(2) == 0 {
+				pc = 0x400600
+				taken = rng.Float64() < 0.95
+			}
+			if p.Predict(pc) == taken {
+				hits++
+			}
+			p.Update(pc, taken)
+		}
+		return float64(hits) / float64(n)
+	}
+	comb := run(Combined)
+	if comb < 0.8 {
+		t.Errorf("combined hit rate %.3f on mixed workload, want > 0.8", comb)
+	}
+}
+
+func TestMispredictRateAccounting(t *testing.T) {
+	p := mustNew(t, Config{Kind: Bimodal, TableBits: 4})
+	pc := uint64(0x400700)
+	for i := 0; i < 50; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	s := p.Stats()
+	if s.Lookups != 50 {
+		t.Errorf("lookups = %d, want 50", s.Lookups)
+	}
+	if got := s.MispredictRate(); got > 0.1 {
+		t.Errorf("mispredict rate %.3f on constant branch, want < 0.1", got)
+	}
+	if (Stats{}).MispredictRate() != 0 {
+		t.Error("empty stats should have zero rate")
+	}
+}
+
+// TestQuickPredictorsAreDeterministic: identical input sequences produce
+// identical prediction sequences.
+func TestQuickPredictorsAreDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Kind: Kind(rng.Intn(3)), TableBits: 8, HistBits: 6}
+		p1, err1 := New(cfg)
+		p2, err2 := New(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			pc := uint64(0x400000 + rng.Intn(64)*4)
+			taken := rng.Intn(2) == 0
+			if p1.Predict(pc) != p2.Predict(pc) {
+				return false
+			}
+			p1.Update(pc, taken)
+			p2.Update(pc, taken)
+		}
+		return p1.Stats() == p2.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGSharePredictUpdate(b *testing.B) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pcs := make([]uint64, 256)
+	for i := range pcs {
+		pcs[i] = uint64(0x400000 + i*4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i&255]
+		taken := rng.Intn(3) > 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}

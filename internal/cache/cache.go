@@ -1,0 +1,220 @@
+// Package cache implements the data-cache hierarchy the pipeline model
+// issues loads and stores against: set-associative, write-back,
+// write-allocate caches with true-LRU replacement, composed into a two-level
+// hierarchy backed by a fixed-latency main memory.
+//
+// Latencies live in the configuration, not the cache: the paper's
+// exploration assigns each cache level an access cycle count that its
+// geometry must fit (via the array timing model), so the hierarchy here is
+// purely functional — it reports which level served an access and leaves
+// cycle accounting to the pipeline.
+package cache
+
+import (
+	"fmt"
+
+	"xpscalar/internal/timing"
+)
+
+// Level identifies which part of the hierarchy served an access.
+type Level int
+
+const (
+	// LevelL1 is a first-level hit.
+	LevelL1 Level = 1
+	// LevelL2 is a first-level miss served by the second level.
+	LevelL2 Level = 2
+	// LevelMemory missed in all cache levels.
+	LevelMemory Level = 3
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Stats counts accesses and misses for one cache.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a logical timestamp; the smallest value in a set is the
+	// least recently used way.
+	lru uint64
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+// It is not safe for concurrent use.
+type Cache struct {
+	geom      timing.CacheGeom
+	sets      []line // sets*assoc lines, row-major by set
+	blockBits uint
+	setMask   uint64
+	tick      uint64
+	stats     Stats
+}
+
+// New builds an empty cache with the given geometry.
+func New(geom timing.CacheGeom) (*Cache, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		geom:    geom,
+		sets:    make([]line, geom.Sets*geom.Assoc),
+		setMask: uint64(geom.Sets - 1),
+	}
+	for b := geom.BlockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	return c, nil
+}
+
+// Geom returns the cache geometry.
+func (c *Cache) Geom() timing.CacheGeom { return c.geom }
+
+// Stats returns cumulative access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// access probes the cache; on a miss the block is allocated, evicting the
+// LRU way. It reports whether the access hit and whether a dirty block was
+// evicted (a writeback the next level must absorb).
+func (c *Cache) access(addr uint64, write bool) (hit, writeback bool, victimAddr uint64) {
+	c.stats.Accesses++
+	c.tick++
+	set := (addr >> c.blockBits) & c.setMask
+	tag := addr >> c.blockBits >> uint(log2(c.geom.Sets))
+	ways := c.sets[set*uint64(c.geom.Assoc) : (set+1)*uint64(c.geom.Assoc)]
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.tick
+			if write {
+				w.dirty = true
+			}
+			return true, false, 0
+		}
+	}
+	c.stats.Misses++
+	// Victim: first invalid way, else true-LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid && v.dirty {
+		writeback = true
+		victimAddr = (v.tag<<uint(log2(c.geom.Sets)) | set) << c.blockBits
+		c.stats.Writebacks++
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false, writeback, victimAddr
+}
+
+// Contains reports whether the block holding addr is resident, without
+// perturbing LRU state or statistics. Intended for tests.
+func (c *Cache) Contains(addr uint64) bool {
+	set := (addr >> c.blockBits) & c.setMask
+	tag := addr >> c.blockBits >> uint(log2(c.geom.Sets))
+	ways := c.sets[set*uint64(c.geom.Assoc) : (set+1)*uint64(c.geom.Assoc)]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Hierarchy is a two-level data-cache hierarchy over main memory.
+type Hierarchy struct {
+	l1, l2 *Cache
+}
+
+// NewHierarchy composes an L1 and a unified L2.
+func NewHierarchy(l1Geom, l2Geom timing.CacheGeom) (*Hierarchy, error) {
+	l1, err := New(l1Geom)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L1: %w", err)
+	}
+	l2, err := New(l2Geom)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L2: %w", err)
+	}
+	return &Hierarchy{l1: l1, l2: l2}, nil
+}
+
+// Access performs a load (write=false) or store (write=true) and returns
+// the level that served it. Writebacks are propagated to the next level.
+func (h *Hierarchy) Access(addr uint64, write bool) Level {
+	hit, wb, victim := h.l1.access(addr, write)
+	if wb {
+		// Dirty L1 victim lands in L2 (write-back path).
+		h.l2.access(victim, true)
+	}
+	if hit {
+		return LevelL1
+	}
+	hit2, _, _ := h.l2.access(addr, false)
+	if hit2 {
+		return LevelL2
+	}
+	return LevelMemory
+}
+
+// L1 returns the first-level cache.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Reset clears both levels.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+}

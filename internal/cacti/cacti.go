@@ -1,0 +1,260 @@
+// Package cacti provides an analytical access-time, area and energy model
+// for the SRAM and CAM arrays that make up the superscalar processor's
+// storage structures. It stands in for the CACTI tool the paper couples to
+// its exploration loop (Wilton & Jouppi; paper reference [36]).
+//
+// The model decomposes an access into the classical CACTI pipeline —
+// decoder, wordline, bitline, sense amplifier, tag comparison, output mux
+// and drive — with a simple square-ish banking discipline and a global
+// routing term, all expressed in units of the technology's FO4 delay and
+// per-millimetre wire delay. The exploration layer consumes only the shape
+// of the resulting surface (monotone in capacity, associativity and port
+// count), which this model preserves; absolute values are calibrated so
+// representative sizings land near the latencies of the paper's Table 4.
+//
+// Table 1 of the paper specifies, per architectural unit, which component of
+// the model output is used; Result exposes each of those components.
+package cacti
+
+import (
+	"fmt"
+	"math"
+
+	"xpscalar/internal/tech"
+)
+
+// Params describes one storage array. For set-associative RAM structures
+// (caches, register files) Assoc and Sets describe the organization; for
+// fully-associative structures (issue-queue wakeup, LSQ search) set
+// FullyAssoc and give the entry count in Sets, in which case Assoc is
+// ignored.
+type Params struct {
+	LineBytes  int  // bytes read per access from one way
+	Assoc      int  // ways; 1 = direct mapped
+	Sets       int  // number of sets, or entries when FullyAssoc
+	ReadPorts  int  // concurrently exercised read ports
+	WritePorts int  // concurrently exercised write ports
+	FullyAssoc bool // content-addressed (CAM) tag path
+	TagBits    int  // tag width; 0 selects a sensible default
+}
+
+// Validate reports whether the array is well formed.
+func (p Params) Validate() error {
+	switch {
+	case p.LineBytes <= 0:
+		return fmt.Errorf("cacti: line size %dB must be positive", p.LineBytes)
+	case p.Sets <= 0:
+		return fmt.Errorf("cacti: %d sets/entries must be positive", p.Sets)
+	case !p.FullyAssoc && p.Assoc <= 0:
+		return fmt.Errorf("cacti: associativity %d must be positive", p.Assoc)
+	case p.ReadPorts < 0 || p.WritePorts < 0:
+		return fmt.Errorf("cacti: negative port count")
+	case p.ReadPorts+p.WritePorts == 0:
+		return fmt.Errorf("cacti: array needs at least one port")
+	}
+	return nil
+}
+
+// Entries returns the number of addressable entries (sets×ways, or entries
+// for a fully-associative array).
+func (p Params) Entries() int {
+	if p.FullyAssoc {
+		return p.Sets
+	}
+	return p.Sets * p.Assoc
+}
+
+// CapacityBytes returns the data capacity of the array.
+func (p Params) CapacityBytes() int {
+	return p.Entries() * p.LineBytes
+}
+
+// tagBits returns the explicit tag width or a default sized for a 48-bit
+// physical address against this array's indexing.
+func (p Params) tagBits() int {
+	if p.TagBits > 0 {
+		return p.TagBits
+	}
+	if p.FullyAssoc {
+		return 48 - log2i(p.LineBytes)
+	}
+	return 48 - log2i(p.Sets) - log2i(p.LineBytes)
+}
+
+// Result carries the delay components of one array access, each of which
+// Table 1 of the paper assigns to some architectural unit, plus area and
+// per-access energy estimates used by the power/area extensions.
+type Result struct {
+	// AccessNs is the full access time: decode through output drive.
+	// Table 1 uses it for the L1/L2 caches and the register file / ROB.
+	AccessNs float64
+
+	// TagCompareNs is the content-match (or tag comparison) component.
+	// Table 1 uses it for the associative half of wakeup-select.
+	TagCompareNs float64
+
+	// DataPathNoOutputNs is the total data path without the output
+	// driver. Table 1 uses it for the direct-mapped half of
+	// wakeup-select and for the LSQ.
+	DataPathNoOutputNs float64
+
+	// AreaMm2 is the estimated silicon area of the array.
+	AreaMm2 float64
+
+	// EnergyNJ is the estimated energy of one access in nanojoules.
+	EnergyNJ float64
+}
+
+// subarrayBits bounds the size of one internally-decoded subarray; larger
+// arrays are banked with a routing penalty, mirroring CACTI's Ndwl/Ndbl
+// partitioning search without carrying out the search itself.
+const subarrayBits = 128 * 1024
+
+// unrepeatedQuadNsPerMm2 is the quadratic RC coefficient of unrepeated
+// wires (bitlines, CAM taglines/matchlines) in ns per mm².
+const unrepeatedQuadNsPerMm2 = 0.03
+
+// Access models one access to the array under the given technology,
+// returning all delay components. It returns an error only for malformed
+// parameters, so exploration loops may treat failure as a bug.
+func Access(p Params, t tech.Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	if p.FullyAssoc {
+		return camAccess(p, t), nil
+	}
+	return ramAccess(p, t), nil
+}
+
+// portPitch returns the linear scaling of the bit-cell pitch with port
+// count: every port beyond the baseline single read/write pair adds wire
+// and access transistors on both axes.
+func portPitch(p Params) float64 {
+	extra := p.ReadPorts + p.WritePorts - 2
+	if extra < 0 {
+		extra = 0
+	}
+	return 1 + 0.18*float64(extra)
+}
+
+func ramAccess(p Params, t tech.Params) Result {
+	fo4 := t.FO4Ns
+	pitch := portPitch(p)
+	bitMm := math.Sqrt(t.BitAreaMm2) * pitch
+
+	dataBits := float64(p.CapacityBytes()) * 8
+	tagBitsTotal := float64(p.tagBits() * p.Entries())
+	totalBits := dataBits + tagBitsTotal
+	areaMm2 := totalBits * t.BitAreaMm2 * pitch * pitch
+
+	// Subarray organization: split into banks of at most subarrayBits,
+	// each a square-ish mat, but a wordline can never be folded below a
+	// single way's line — fat blocks mean long wordlines and slow,
+	// power-hungry rows (the reason Table 4's fastest-clocked
+	// configurations keep 8-byte blocks).
+	bankBits := math.Min(dataBits, subarrayBits)
+	lineBits := float64(p.LineBytes * 8)
+	cols := math.Max(lineBits, math.Sqrt(bankBits/2))
+	rows := math.Max(2, bankBits/cols)
+
+	decode := fo4 * (3 + 1.0*math.Log2(math.Max(2, rows)))
+	wordline := t.WireNsPerMm*cols*bitMm + 2*fo4
+	// Low-swing differential bitlines: wire term halved, plus drive.
+	// Bitlines are unrepeated (sense amps sit only at the column foot),
+	// so a quadratic RC term grows with the column height; it is what
+	// ultimately caps single-cycle register files and ROBs.
+	colHeightMm := rows * bitMm
+	bitline := 0.5*t.WireNsPerMm*colHeightMm + unrepeatedQuadNsPerMm2*colHeightMm*colHeightMm + 3*fo4
+	sense := 3 * fo4
+
+	// Global routing across banks: half the array's linear dimension out
+	// and back on a buffered H-tree.
+	route := 0.0
+	if dataBits > subarrayBits {
+		route = t.WireNsPerMm * math.Sqrt(areaMm2)
+	}
+
+	compare := 0.0
+	if p.Assoc > 1 {
+		// Tag comparison plus way-select mux steering.
+		compare = fo4 * (3 + math.Log2(float64(p.tagBits()))) //nolint:staticcheck
+		compare += fo4 * (2 + math.Log2(float64(p.Assoc)))
+	}
+
+	outputDrive := fo4 * (3 + 0.5*math.Log2(float64(p.LineBytes*8)))
+
+	dataPath := decode + wordline + bitline + sense + compare + route
+	access := dataPath + outputDrive
+
+	// Energy: charge the accessed subarray's bitlines plus routing.
+	energy := 0.015*bankBits/1024*pitch + 0.05*math.Sqrt(areaMm2)
+
+	return Result{
+		AccessNs:           access,
+		TagCompareNs:       compare,
+		DataPathNoOutputNs: dataPath,
+		AreaMm2:            areaMm2,
+		EnergyNJ:           energy,
+	}
+}
+
+func camAccess(p Params, t tech.Params) Result {
+	fo4 := t.FO4Ns
+	pitch := portPitch(p) * 1.3 // CAM cells carry match logic
+	bitMm := math.Sqrt(t.BitAreaMm2) * pitch
+
+	entries := float64(p.Sets)
+	bitsPerEntry := float64(p.LineBytes*8 + p.tagBits())
+	totalBits := entries * bitsPerEntry
+	areaMm2 := totalBits * t.BitAreaMm2 * pitch * pitch
+
+	// One row per entry; the search key is broadcast down the array and
+	// every matchline evaluates in parallel. CAM rows carry match logic
+	// and are substantially taller than RAM rows, which is what makes
+	// large fully-associative structures scale so much worse.
+	rowHeightMm := bitMm * 2.5
+	arrayHeightMm := entries * rowHeightMm
+
+	// Differential low-swing taglines keep broadcast at half the repeated
+	// wire delay, as for RAM bitlines — but taglines and matchline OR
+	// trees cannot be repeated, so the same quadratic RC term applies and
+	// dominates for large entry counts. This is the physical reason issue
+	// queues saturate near 64 entries while ROBs reach 1024 (Table 4).
+	broadcast := 0.5*t.WireNsPerMm*arrayHeightMm +
+		unrepeatedQuadNsPerMm2*arrayHeightMm*arrayHeightMm + 2*fo4
+	match := fo4 * (3 + math.Log2(math.Max(2, float64(p.tagBits()))))
+	// Priority encode / select across the matchlines.
+	selectDelay := fo4 * (2 + 1.5*math.Log2(math.Max(2, entries)))
+
+	tagCompare := broadcast + match
+	dataRead := 0.5*t.WireNsPerMm*arrayHeightMm + 4*fo4
+	outputDrive := fo4 * (3 + 0.5*math.Log2(float64(p.LineBytes*8)))
+
+	dataPath := tagCompare + selectDelay + dataRead
+	access := dataPath + outputDrive
+
+	// CAMs burn energy in every row on every search.
+	energy := 0.03*totalBits/1024*pitch + 0.05*math.Sqrt(areaMm2)
+
+	return Result{
+		AccessNs:           access,
+		TagCompareNs:       tagCompare,
+		DataPathNoOutputNs: dataPath,
+		AreaMm2:            areaMm2,
+		EnergyNJ:           energy,
+	}
+}
+
+// log2i returns floor(log2(v)) for v >= 1, and 0 otherwise.
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+package cacti
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpscalar/internal/tech"
+)
+
+func mustAccess(t *testing.T, p Params) Result {
+	t.Helper()
+	r, err := Access(p, tech.Default())
+	if err != nil {
+		t.Fatalf("Access(%+v) = %v", p, err)
+	}
+	return r
+}
+
+func ramParams(sets, assoc, line int) Params {
+	return Params{LineBytes: line, Assoc: assoc, Sets: sets, ReadPorts: 2, WritePorts: 2}
+}
+
+func camParams(entries, line int) Params {
+	return Params{LineBytes: line, Sets: entries, ReadPorts: 2, WritePorts: 2, FullyAssoc: true}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []Params{
+		{LineBytes: 0, Assoc: 1, Sets: 16, ReadPorts: 1},
+		{LineBytes: 8, Assoc: 0, Sets: 16, ReadPorts: 1},
+		{LineBytes: 8, Assoc: 1, Sets: 0, ReadPorts: 1},
+		{LineBytes: 8, Assoc: 1, Sets: 16, ReadPorts: -1},
+		{LineBytes: 8, Assoc: 1, Sets: 16}, // no ports
+	}
+	for _, p := range cases {
+		if _, err := Access(p, tech.Default()); err == nil {
+			t.Errorf("Access(%+v) accepted malformed params", p)
+		}
+	}
+}
+
+func TestAccessComponentsPositiveAndOrdered(t *testing.T) {
+	for _, p := range []Params{
+		ramParams(1024, 2, 32),
+		ramParams(16384, 1, 8),
+		camParams(64, 8),
+	} {
+		r := mustAccess(t, p)
+		if r.AccessNs <= 0 || r.DataPathNoOutputNs <= 0 {
+			t.Errorf("%+v: non-positive delays %+v", p, r)
+		}
+		if r.DataPathNoOutputNs >= r.AccessNs {
+			t.Errorf("%+v: data path %v must be below full access %v (output drive)", p, r.DataPathNoOutputNs, r.AccessNs)
+		}
+		if r.TagCompareNs > r.DataPathNoOutputNs {
+			t.Errorf("%+v: tag compare %v exceeds data path %v", p, r.TagCompareNs, r.DataPathNoOutputNs)
+		}
+		if r.AreaMm2 <= 0 || r.EnergyNJ <= 0 {
+			t.Errorf("%+v: non-positive area/energy %+v", p, r)
+		}
+	}
+}
+
+func TestDirectMappedHasNoTagCompare(t *testing.T) {
+	r := mustAccess(t, ramParams(256, 1, 8))
+	if r.TagCompareNs != 0 {
+		t.Errorf("direct-mapped RAM tag compare = %v, want 0", r.TagCompareNs)
+	}
+}
+
+func TestCapacityMonotonicity(t *testing.T) {
+	// Bigger arrays must never be faster (Figure 2's premise).
+	prev := 0.0
+	for sets := 64; sets <= 65536; sets *= 2 {
+		r := mustAccess(t, ramParams(sets, 2, 32))
+		if r.AccessNs < prev {
+			t.Fatalf("access time decreased at %d sets: %v < %v", sets, r.AccessNs, prev)
+		}
+		prev = r.AccessNs
+	}
+}
+
+func TestAssociativityCostsDelay(t *testing.T) {
+	dm := mustAccess(t, ramParams(1024, 1, 32))
+	sa := mustAccess(t, ramParams(512, 2, 32)) // same capacity
+	if sa.AccessNs <= dm.AccessNs {
+		t.Errorf("2-way (%.3f) should be slower than direct-mapped (%.3f) at equal capacity", sa.AccessNs, dm.AccessNs)
+	}
+}
+
+func TestPortsCostDelayAndArea(t *testing.T) {
+	few := mustAccess(t, Params{LineBytes: 8, Assoc: 1, Sets: 256, ReadPorts: 2, WritePorts: 1})
+	many := mustAccess(t, Params{LineBytes: 8, Assoc: 1, Sets: 256, ReadPorts: 8, WritePorts: 4})
+	if many.AccessNs <= few.AccessNs {
+		t.Errorf("12-port access %.3f should exceed 3-port %.3f", many.AccessNs, few.AccessNs)
+	}
+	if many.AreaMm2 <= few.AreaMm2 {
+		t.Errorf("12-port area %.5f should exceed 3-port %.5f", many.AreaMm2, few.AreaMm2)
+	}
+}
+
+func TestCAMScalesWorseThanRAM(t *testing.T) {
+	// Growing a CAM 8x should cost more delay than growing an
+	// equal-capacity direct-mapped RAM 8x — the reason issue queues stay
+	// small while ROBs grow large (paper Table 4: IQ<=64 vs ROB<=1024).
+	camSmall := mustAccess(t, camParams(32, 8))
+	camBig := mustAccess(t, camParams(256, 8))
+	ramSmall := mustAccess(t, ramParams(32, 1, 8))
+	ramBig := mustAccess(t, ramParams(256, 1, 8))
+	camGrowth := camBig.AccessNs - camSmall.AccessNs
+	ramGrowth := ramBig.AccessNs - ramSmall.AccessNs
+	if camGrowth <= ramGrowth {
+		t.Errorf("CAM growth %.3fns should exceed RAM growth %.3fns", camGrowth, ramGrowth)
+	}
+}
+
+func TestFasterTechnologyIsFaster(t *testing.T) {
+	base := tech.Default()
+	fast := base.Scale(0.7)
+	p := ramParams(1024, 2, 32)
+	rb, err := Access(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Access(p, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.AccessNs >= rb.AccessNs {
+		t.Errorf("scaled tech access %.3f should beat base %.3f", rf.AccessNs, rb.AccessNs)
+	}
+}
+
+func TestEntriesAndCapacity(t *testing.T) {
+	p := ramParams(128, 4, 64)
+	if got := p.Entries(); got != 512 {
+		t.Errorf("Entries() = %d, want 512", got)
+	}
+	if got := p.CapacityBytes(); got != 128*4*64 {
+		t.Errorf("CapacityBytes() = %d, want %d", got, 128*4*64)
+	}
+	c := camParams(48, 8)
+	if got := c.Entries(); got != 48 {
+		t.Errorf("CAM Entries() = %d, want 48", got)
+	}
+}
+
+// TestQuickMonotoneInSize property-checks that doubling the set count of a
+// random well-formed array never reduces access time.
+func TestQuickMonotoneInSize(t *testing.T) {
+	techP := tech.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := 16 << rng.Intn(8)
+		assoc := []int{1, 2, 4, 8}[rng.Intn(4)]
+		line := []int{8, 16, 32, 64, 128}[rng.Intn(5)]
+		ports := 1 + rng.Intn(6)
+		small := Params{LineBytes: line, Assoc: assoc, Sets: sets, ReadPorts: ports, WritePorts: 1}
+		big := small
+		big.Sets *= 2
+		rs, err1 := Access(small, techP)
+		rb, err2 := Access(big, techP)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.AccessNs >= rs.AccessNs && rb.AreaMm2 > rs.AreaMm2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCAMMonotone property-checks CAM monotonicity in entry count.
+func TestQuickCAMMonotone(t *testing.T) {
+	techP := tech.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := 8 << rng.Intn(7)
+		line := []int{8, 16}[rng.Intn(2)]
+		small := Params{LineBytes: line, Sets: entries, ReadPorts: 2, WritePorts: 2, FullyAssoc: true}
+		big := small
+		big.Sets *= 2
+		rs, err1 := Access(small, techP)
+		rb, err2 := Access(big, techP)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.AccessNs >= rs.AccessNs && rb.TagCompareNs >= rs.TagCompareNs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRAMAccess(b *testing.B) {
+	p := ramParams(8192, 4, 64)
+	techP := tech.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := Access(p, techP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCAMAccess(b *testing.B) {
+	p := camParams(128, 8)
+	techP := tech.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := Access(p, techP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"testing"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/paperdata"
+)
+
+func TestPaperMatrixMatchesTable5(t *testing.T) {
+	m, err := PaperMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != len(paperdata.Benchmarks) {
+		t.Fatalf("matrix size %d", m.N())
+	}
+	if m.IPT[0][0] != 3.15 {
+		t.Errorf("bzip diagonal %v, want 3.15", m.IPT[0][0])
+	}
+}
+
+func TestLoadMatrixSources(t *testing.T) {
+	if _, err := LoadMatrix("paper", DefaultMatrixOptions()); err != nil {
+		t.Errorf("paper source: %v", err)
+	}
+	if _, err := LoadMatrix("nosuch", DefaultMatrixOptions()); err == nil {
+		t.Error("accepted unknown source")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]core.Policy{
+		"none":    core.PolicyNoPropagation,
+		"forward": core.PolicyForwardPropagation,
+		"full":    core.PolicyFullPropagation,
+	}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("accepted bogus policy")
+	}
+}
+
+func TestPaperTable4Configs(t *testing.T) {
+	cfgs := PaperTable4Configs()
+	if len(cfgs) != 11 {
+		t.Fatalf("%d configs", len(cfgs))
+	}
+	for i, nc := range cfgs {
+		if nc.Name != paperdata.Benchmarks[i] {
+			t.Errorf("config %d named %s", i, nc.Name)
+		}
+		if len(nc.Config.Vector()) == 0 {
+			t.Errorf("%s has empty vector", nc.Name)
+		}
+		if nc.Config.ClockNs != paperdata.Table4[i].ClockNs {
+			t.Errorf("%s clock mismatch", nc.Name)
+		}
+		if nc.Config.L1D.SizeBytes() != paperdata.Table4[i].L1DBytes() {
+			t.Errorf("%s L1 size mismatch", nc.Name)
+		}
+	}
+}

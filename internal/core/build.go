@@ -1,0 +1,67 @@
+// Building a cross-configuration matrix from simulation: every workload is
+// executed on every workload's customized architecture (the step producing
+// the paper's Table 5 from its Table 4).
+
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// BuildMatrix evaluates every profile on every configuration for n
+// instructions each and returns the resulting cross-configuration IPT
+// matrix. configs[i] must be the customized architecture of profiles[i].
+// The len(profiles)² simulations run in parallel.
+func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
+	if len(profiles) == 0 || len(profiles) != len(configs) {
+		return nil, fmt.Errorf("core: %d profiles for %d configs", len(profiles), len(configs))
+	}
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	ipt := make([][]float64, len(profiles))
+	for i := range ipt {
+		ipt[i] = make([]float64, len(configs))
+	}
+
+	type job struct{ w, a int }
+	jobs := make(chan job)
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := sim.Run(configs[j.a], profiles[j.w], n, t)
+				if err != nil {
+					errs[j.w] = fmt.Errorf("core: %s on %s's arch: %w",
+						profiles[j.w].Name, names[j.a], err)
+					continue
+				}
+				ipt[j.w][j.a] = r.IPT()
+			}
+		}()
+	}
+	for w := range profiles {
+		for a := range configs {
+			jobs <- job{w, a}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewMatrix(names, ipt)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+func TestBuildMatrixEndToEnd(t *testing.T) {
+	// A small end-to-end cross-configuration run: two contrasting
+	// workloads on two contrasting (hand-built) configurations.
+	tp := tech.Default()
+	gzip, _ := workload.ByName("gzip")
+	mcf, _ := workload.ByName("mcf")
+
+	fast := sim.InitialConfig(tp) // general-purpose Table 3 core
+
+	// A memory-oriented core: bigger window, bigger L2, slower clock.
+	big := sim.InitialConfig(tp)
+	big.ClockNs = 0.45
+	big.FrontEndStages = 5
+	big.ROBSize = 512
+	big.IQSize = 64
+	big.LSQSize = 256
+	big.SchedDepth = 1
+	big.WakeupMinLat = 0
+	big.L1D = sim.InitialConfig(tp).L1D
+	big.L1DLat = 3
+	big.L2 = timing.CacheGeom{Sets: 8192, Assoc: 4, BlockBytes: 128} // 4M
+	big.L2Lat = 14
+	big.MemCycles = 125
+	if err := big.Validate(tp); err != nil {
+		t.Fatalf("big config invalid: %v", err)
+	}
+
+	profiles := []workload.Profile{gzip, mcf}
+	configs := []sim.Config{fast, big}
+	m, err := BuildMatrix(profiles, configs, 25000, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 2 {
+		t.Fatalf("matrix size %d", m.N())
+	}
+	if m.Names[0] != "gzip" || m.Names[1] != "mcf" {
+		t.Errorf("names = %v", m.Names)
+	}
+	for w := 0; w < 2; w++ {
+		for a := 0; a < 2; a++ {
+			if m.IPT[w][a] <= 0 {
+				t.Errorf("IPT[%d][%d] = %v", w, a, m.IPT[w][a])
+			}
+		}
+	}
+	// The memory-bound workload must prefer the big-window slow core
+	// relative to gzip's preference: mcf's ratio big/fast exceeds
+	// gzip's.
+	mcfRatio := m.IPT[1][1] / m.IPT[1][0]
+	gzipRatio := m.IPT[0][1] / m.IPT[0][0]
+	if mcfRatio <= gzipRatio {
+		t.Errorf("mcf big/fast ratio %.3f should exceed gzip's %.3f", mcfRatio, gzipRatio)
+	}
+}
+
+func TestBuildMatrixRejectsMismatch(t *testing.T) {
+	tp := tech.Default()
+	gzip, _ := workload.ByName("gzip")
+	if _, err := BuildMatrix([]workload.Profile{gzip}, nil, 1000, tp); err == nil {
+		t.Error("accepted mismatched profiles/configs")
+	}
+}
+
+func TestBuildMatrixDeterministic(t *testing.T) {
+	tp := tech.Default()
+	gzip, _ := workload.ByName("gzip")
+	vpr, _ := workload.ByName("vpr")
+	cfgs := []sim.Config{sim.InitialConfig(tp), sim.InitialConfig(tp)}
+	profs := []workload.Profile{gzip, vpr}
+	a, err := BuildMatrix(profs, cfgs, 8000, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMatrix(profs, cfgs, 8000, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IPT {
+		for j := range a.IPT[i] {
+			if a.IPT[i][j] != b.IPT[i][j] {
+				t.Errorf("BuildMatrix not deterministic at [%d][%d]", i, j)
+			}
+		}
+	}
+}

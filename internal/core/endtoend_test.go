@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"xpscalar/internal/explore"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// TestEndToEndShape runs the full pipeline — explore, cross-configure,
+// analyze — on a three-corner workload subset and checks the structural
+// properties the paper's evaluation rests on. This is the "end-to-end mode"
+// counterpart of the exact-mode reproduction tests.
+func TestEndToEndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline test")
+	}
+	tp := tech.Default()
+	var profiles []workload.Profile
+	for _, name := range []string{"crafty", "gzip", "mcf"} {
+		p, _ := workload.ByName(name)
+		profiles = append(profiles, p)
+	}
+	opt := explore.DefaultOptions(19)
+	opt.Iterations = 60
+	opt.Chains = 2
+	opt.ShortBudget = 6000
+	opt.LongBudget = 15000
+	outs, err := explore.Suite(profiles, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := make([]sim.Config, len(outs))
+	for i, o := range outs {
+		configs[i] = o.Best
+	}
+
+	m, err := BuildMatrix(profiles, configs, 15000, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Cross-seeding guarantees the diagonal dominates each row (the
+	//    property paperdata's Table 5 also exhibits).
+	for w := 0; w < m.N(); w++ {
+		for a := 0; a < m.N(); a++ {
+			if m.IPT[w][a] > m.IPT[w][w]*1.001 {
+				t.Errorf("%s beats its own arch on %s's: %.3f > %.3f",
+					m.Names[w], m.Names[a], m.IPT[w][a], m.IPT[w][w])
+			}
+		}
+	}
+
+	// 2. mcf is the slowest workload everywhere and suffers real
+	//    slowdowns on the others' cores (the memory-bound corner).
+	mcf := m.Index("mcf")
+	for a := 0; a < m.N(); a++ {
+		if m.IPT[mcf][a] > m.IPT[m.Index("crafty")][a] {
+			t.Errorf("mcf out-runs crafty on %s's arch", m.Names[a])
+		}
+	}
+	worst := 0.0
+	for a := 0; a < m.N(); a++ {
+		if a != mcf && m.Slowdown(mcf, a) > worst {
+			worst = m.Slowdown(mcf, a)
+		}
+	}
+	if worst < 0.10 {
+		t.Errorf("mcf's worst cross-configuration slowdown %.3f, want substantial (paper: up to ~50%%)", worst)
+	}
+
+	// 3. Heterogeneity pays: the best pair beats the best single core on
+	//    harmonic-mean IPT.
+	single, err := m.BestCombination(1, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.HarIPT <= single.HarIPT*1.01 {
+		t.Errorf("best pair har %.3f should clearly beat best single %.3f", pair.HarIPT, single.HarIPT)
+	}
+	// The winning pair covers the memory-bound corner: it includes mcf's
+	// architecture.
+	hasMcf := false
+	for _, a := range pair.Archs {
+		if a == mcf {
+			hasMcf = true
+		}
+	}
+	if !hasMcf {
+		t.Errorf("best pair %v omits the memory-bound corner's core", m.ArchNames(pair.Archs))
+	}
+}

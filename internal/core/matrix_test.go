@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpscalar/internal/paperdata"
+)
+
+func paperMatrix(t testing.TB) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(paperdata.Benchmarks, paperdata.Table5IPT)
+	if err != nil {
+		t.Fatalf("paper matrix: %v", err)
+	}
+	return m
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(nil, nil); err == nil {
+		t.Error("accepted empty matrix")
+	}
+	if _, err := NewMatrix([]string{"a", "b"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("accepted wrong row count")
+	}
+	if _, err := NewMatrix([]string{"a", "b"}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("accepted ragged rows")
+	}
+	if _, err := NewMatrix([]string{"a", "b"}, [][]float64{{1, 0}, {3, 4}}); err == nil {
+		t.Error("accepted non-positive IPT")
+	}
+	if _, err := NewMatrix([]string{"a", "a"}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("accepted duplicate names")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	m := paperMatrix(t)
+	if got := m.Index("mcf"); got != 5 {
+		t.Errorf("Index(mcf) = %d, want 5", got)
+	}
+	if got := m.Index("nosuch"); got != -1 {
+		t.Errorf("Index(nosuch) = %d, want -1", got)
+	}
+}
+
+func TestSlowdownMatchesAppendixA(t *testing.T) {
+	// Spot-check the published Appendix A percentages (derived from
+	// Table 5, so agreement is to the paper's rounding).
+	m := paperMatrix(t)
+	cases := []struct {
+		w, a string
+		want float64 // published percentage
+	}{
+		{"bzip", "twolf", 3.1},
+		{"bzip", "gzip", 33},
+		{"gzip", "bzip", 43},
+		{"vortex", "parser", 0.5},
+		{"mcf", "gzip", 68},
+		{"crafty", "vortex", 8},
+		{"twolf", "vpr", 3.2},
+		{"perl", "crafty", 2},
+	}
+	for _, tc := range cases {
+		got := m.Slowdown(m.Index(tc.w), m.Index(tc.a)) * 100
+		if math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("slowdown(%s on %s) = %.1f%%, paper %.1f%%", tc.w, tc.a, got, tc.want)
+		}
+	}
+	// Diagonal is zero by definition.
+	for i := 0; i < m.N(); i++ {
+		if m.Slowdown(i, i) != 0 {
+			t.Errorf("self-slowdown of %s = %v", m.Names[i], m.Slowdown(i, i))
+		}
+	}
+}
+
+func TestSlowdownMatrixShape(t *testing.T) {
+	m := paperMatrix(t)
+	s := m.SlowdownMatrix()
+	if len(s) != m.N() {
+		t.Fatalf("slowdown matrix has %d rows", len(s))
+	}
+	// mcf suffers the worst cross-configuration slowdowns (~50-68%),
+	// the paper's headline observation in §5.1.
+	worst := 0.0
+	for a := 0; a < m.N(); a++ {
+		if a != m.Index("mcf") && s[m.Index("mcf")][a] > worst {
+			worst = s[m.Index("mcf")][a]
+		}
+	}
+	if worst < 0.5 {
+		t.Errorf("mcf worst slowdown %.2f, paper reports up to ~68%%", worst)
+	}
+}
+
+func TestBestInPicksMaximum(t *testing.T) {
+	m := paperMatrix(t)
+	w := m.Index("bzip")
+	arch, ipt := m.BestIn(w, []int{m.Index("gzip"), m.Index("twolf"), m.Index("mcf")})
+	if m.Names[arch] != "twolf" || ipt != 3.05 {
+		t.Errorf("BestIn = %s/%v, want twolf/3.05", m.Names[arch], ipt)
+	}
+}
+
+func TestMeritSingleGccMatchesTable6(t *testing.T) {
+	m := paperMatrix(t)
+	sel := []int{m.Index("gcc")}
+	if avg := m.Merit(sel, MetricAvg, nil); math.Abs(avg-2.06) > 0.01 {
+		t.Errorf("avg IPT on gcc = %.3f, paper 2.06", avg)
+	}
+	if har := m.Merit(sel, MetricHar, nil); math.Abs(har-1.57) > 0.01 {
+		t.Errorf("har IPT on gcc = %.3f, paper 1.57", har)
+	}
+}
+
+// TestBestCombinationsReproduceTable6 is the headline exact-reproduction
+// test: the exhaustive search over the published Table 5 must select the
+// published Table 6 combinations, with merits matching to the paper's
+// rounding (the paper's own Table 6 values derive from unrounded data, so a
+// ~3.5% tolerance is allowed on the values; the *selections* must be
+// exact).
+func TestBestCombinationsReproduceTable6(t *testing.T) {
+	m := paperMatrix(t)
+	cases := []struct {
+		k      int
+		metric Metric
+		want   []string
+		avg    float64
+		har    float64
+	}{
+		{1, MetricAvg, []string{"gcc"}, 2.06, 1.57},
+		{1, MetricHar, []string{"gcc"}, 2.06, 1.57},
+		{2, MetricAvg, []string{"parser", "twolf"}, 2.27, 1.76},
+		{2, MetricHar, []string{"gcc", "mcf"}, 2.12, 1.88},
+		{2, MetricCWHar, []string{"bzip", "crafty"}, 2.18, 1.87},
+		{3, MetricAvg, []string{"crafty", "parser", "twolf"}, 2.35, 1.82},
+		{3, MetricHar, []string{"crafty", "mcf", "twolf"}, 2.27, 2.05},
+		{4, MetricAvg, []string{"crafty", "mcf", "parser", "twolf"}, 2.32, 2.08},
+		{4, MetricHar, []string{"crafty", "mcf", "parser", "twolf"}, 2.32, 2.08},
+	}
+	for _, tc := range cases {
+		c, err := m.BestCombination(tc.k, tc.metric, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.ArchNames(c.Archs)
+		if len(got) != len(tc.want) {
+			t.Fatalf("k=%d %v: got %v, want %v", tc.k, tc.metric, got, tc.want)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("k=%d %v: combination %v, paper %v", tc.k, tc.metric, got, tc.want)
+				break
+			}
+		}
+		if rel := math.Abs(c.AvgIPT-tc.avg) / tc.avg; rel > 0.035 {
+			t.Errorf("k=%d %v: avg IPT %.3f vs paper %.2f (%.1f%% off)", tc.k, tc.metric, c.AvgIPT, tc.avg, rel*100)
+		}
+		if rel := math.Abs(c.HarIPT-tc.har) / tc.har; rel > 0.035 {
+			t.Errorf("k=%d %v: har IPT %.3f vs paper %.2f (%.1f%% off)", tc.k, tc.metric, c.HarIPT, tc.har, rel*100)
+		}
+	}
+}
+
+func TestIdealSystemMatchesTable6LastRow(t *testing.T) {
+	// Every benchmark on its own customized architecture: avg 2.38, har
+	// 2.12 (Table 6 last row; tolerance for the paper's rounding).
+	m := paperMatrix(t)
+	all := make([]int, m.N())
+	for i := range all {
+		all[i] = i
+	}
+	if avg := m.Merit(all, MetricAvg, nil); math.Abs(avg-2.38)/2.38 > 0.035 {
+		t.Errorf("ideal avg = %.3f, paper 2.38", avg)
+	}
+	if har := m.Merit(all, MetricHar, nil); math.Abs(har-2.12)/2.12 > 0.035 {
+		t.Errorf("ideal har = %.3f, paper 2.12", har)
+	}
+}
+
+// TestTable7Summary reproduces the dual-core summary table.
+func TestTable7Summary(t *testing.T) {
+	m := paperMatrix(t)
+	exp := paperdata.Table7Expected
+
+	all := make([]int, m.N())
+	for i := range all {
+		all[i] = i
+	}
+	ideal := m.Merit(all, MetricHar, nil)
+	homog := m.Merit([]int{m.Index("gcc")}, MetricHar, nil)
+	complete, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surr, err := GreedySurrogates(m, PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want)/want > 0.035 {
+			t.Errorf("%s har = %.3f, paper %.2f", name, got, want)
+		}
+	}
+	check("ideal", ideal, exp.IdealHar)
+	check("homogeneous-gcc", homog, exp.HomogeneousHar)
+	check("complete-search", complete.HarIPT, exp.CompleteHar)
+	check("surrogate-propagation", surr.HarmonicIPT(), exp.SurrogateHar)
+
+	// Slowdowns versus ideal: absolute tolerance, since a ratio of two
+	// rounded quantities amplifies rounding.
+	checkAbs := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s = %.3f, paper %.2f", name, got, want)
+		}
+	}
+	checkAbs("homogeneous slowdown", 1-homog/ideal, exp.HomogeneousSlow)
+	checkAbs("complete slowdown", 1-complete.HarIPT/ideal, exp.CompleteSlow)
+	checkAbs("surrogate slowdown", 1-surr.HarmonicIPT()/ideal, exp.SurrogateSlow)
+}
+
+// TestFigure4LimitedCores reproduces the per-benchmark claims the paper
+// makes about Figure 4.
+func TestFigure4LimitedCores(t *testing.T) {
+	m := paperMatrix(t)
+	single, err := m.BestCombination(1, MetricAvg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoAvg, err := m.BestCombination(2, MetricAvg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoHar, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perf := func(sel []int, w string) float64 {
+		_, ipt := m.BestIn(m.Index(w), sel)
+		return ipt
+	}
+
+	// "twolf and parser display around 40% and 25% speedup respectively
+	// over the best single configuration when the best two configurations
+	// for average IPT are employed."
+	if s := perf(twoAvg.Archs, "twolf")/perf(single.Archs, "twolf") - 1; math.Abs(s-0.45) > 0.1 {
+		t.Errorf("twolf speedup with 2-avg cores = %.2f, paper ~0.40-0.45", s)
+	}
+	if s := perf(twoAvg.Archs, "parser")/perf(single.Archs, "parser") - 1; math.Abs(s-0.26) > 0.06 {
+		t.Errorf("parser speedup with 2-avg cores = %.2f, paper ~0.25", s)
+	}
+	// "mcf attains close to 2x speedup over the best single configuration
+	// when the best two cores for harmonic mean performance are
+	// available."
+	if s := perf(twoHar.Archs, "mcf") / perf(single.Archs, "mcf"); math.Abs(s-2.07) > 0.15 {
+		t.Errorf("mcf speedup with 2-har cores = %.2fx, paper ~2x", s)
+	}
+	// "the availability of the customized architectural configuration of
+	// mcf provides hardly any benefit for the other benchmarks (only bzip
+	// attains a slight performance enhancement)."
+	withMcf := []int{m.Index("gcc"), m.Index("mcf")}
+	for _, w := range m.Names {
+		if w == "mcf" || w == "bzip" {
+			continue
+		}
+		if perf(withMcf, w) > m.IPT[m.Index(w)][m.Index("gcc")] {
+			t.Errorf("%s benefits from mcf's core, paper says only bzip does", w)
+		}
+	}
+	if m.IPT[m.Index("bzip")][m.Index("mcf")] <= m.IPT[m.Index("bzip")][m.Index("gcc")] {
+		t.Error("bzip should slightly prefer mcf's core over gcc's")
+	}
+}
+
+// TestSection53SubsettingPitfall reproduces §5.3: with gzip standing in for
+// bzip, the dual-core search picks {bzip... } differently and loses.
+func TestSection53SubsettingPitfall(t *testing.T) {
+	m := paperMatrix(t)
+
+	// The premise: bzip and gzip are mutually bad surrogates despite
+	// their raw similarity — 33% and 43% slowdowns.
+	if s := m.Slowdown(m.Index("bzip"), m.Index("gzip")); math.Abs(s-0.33) > 0.01 {
+		t.Errorf("bzip on gzip slowdown %.3f, paper 0.33", s)
+	}
+	if s := m.Slowdown(m.Index("gzip"), m.Index("bzip")); math.Abs(s-0.43) > 0.01 {
+		t.Errorf("gzip on bzip slowdown %.3f, paper 0.43", s)
+	}
+
+	// Reduced benchmark set: gzip dropped, bzip its representative (the
+	// paper's §5.3 scenario, where re-evaluation over the reduced set
+	// finds {bzip, crafty} the best dual-core solution).
+	reduced := []string{"bzip", "crafty", "gap", "gcc", "mcf", "parser", "perl", "twolf", "vortex", "vpr"}
+	sub, err := m.Sub(reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sub.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reducedPick := sub.ArchNames(c.Archs)
+	if len(reducedPick) != 2 || reducedPick[0] != "bzip" || reducedPick[1] != "crafty" {
+		t.Errorf("reduced-set dual-core pick = %v, paper finds {bzip, crafty}", reducedPick)
+	}
+
+	// Evaluated over ALL benchmarks (including the dropped gzip), the
+	// reduced-set choice loses to the full-set winner {gcc, mcf} — the
+	// pitfall. Paper: har ~1.87 vs 1.88, a ~0.5% slowdown.
+	full, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reducedSel []int
+	for _, name := range reducedPick {
+		reducedSel = append(reducedSel, m.Index(name))
+	}
+	lossy := m.Merit(reducedSel, MetricHar, nil)
+	if math.Abs(lossy-1.87) > 0.02 {
+		t.Errorf("reduced pick full-set har = %.3f, paper ~1.87", lossy)
+	}
+	slow := 1 - lossy/full.HarIPT
+	if slow <= 0 || slow > 0.02 {
+		t.Errorf("subsetting pitfall slowdown = %.4f, paper ~0.5%%", slow)
+	}
+}
+
+func TestWeightsSteerCombination(t *testing.T) {
+	// §5.2: "if mcf were to have a considerably lower importance-weight
+	// than the other benchmarks, the best two configurations for
+	// harmonic-mean performance would potentially be different."
+	m := paperMatrix(t)
+	weights := make([]float64, m.N())
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[m.Index("mcf")] = 0.02
+	weighted, err := m.BestCombination(2, MetricHar, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ArchNames(weighted.Archs)
+	if got[0] == "gcc" && got[1] == "mcf" {
+		t.Errorf("down-weighting mcf still picked %v", got)
+	}
+}
+
+func TestSubErrors(t *testing.T) {
+	m := paperMatrix(t)
+	if _, err := m.Sub([]string{"bzip", "nosuch"}); err == nil {
+		t.Error("Sub accepted unknown workload")
+	}
+}
+
+func TestBestCombinationErrors(t *testing.T) {
+	m := paperMatrix(t)
+	if _, err := m.BestCombination(0, MetricAvg, nil); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := m.BestCombination(m.N()+1, MetricAvg, nil); err == nil {
+		t.Error("accepted k>n")
+	}
+}
+
+// TestQuickMeritInvariants property-checks the figures of merit on random
+// matrices.
+func TestQuickMeritInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		names := make([]string, n)
+		ipt := make([][]float64, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+			ipt[i] = make([]float64, n)
+			for j := range ipt[i] {
+				ipt[i][j] = 0.2 + rng.Float64()*3
+			}
+		}
+		m, err := NewMatrix(names, ipt)
+		if err != nil {
+			return false
+		}
+		// A selection's merit never decreases when the selection grows.
+		small := []int{0}
+		big := []int{0, 1}
+		for _, metric := range []Metric{MetricAvg, MetricHar} {
+			if m.Merit(big, metric, nil) < m.Merit(small, metric, nil)-1e-9 {
+				return false
+			}
+		}
+		// Harmonic <= average for any selection.
+		if m.Merit(big, MetricHar, nil) > m.Merit(big, MetricAvg, nil)+1e-9 {
+			return false
+		}
+		// cw-har with a single core divides by the whole population.
+		cw := m.Merit(small, MetricCWHar, nil)
+		har := m.Merit(small, MetricHar, nil)
+		return math.Abs(cw-har/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBestCombination2(b *testing.B) {
+	m := paperMatrix(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.BestCombination(2, MetricHar, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestCombination4(b *testing.B) {
+	m := paperMatrix(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.BestCombination(4, MetricHar, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

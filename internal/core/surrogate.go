@@ -1,0 +1,252 @@
+// Greedy surrogate assignment (paper §5.4): instead of an opaque complete
+// search, the cross-configuration slowdowns are reduced to a
+// surrogating-graph by repeatedly making the cheapest legal assignment of
+// one workload to another workload's customized architecture. Three
+// propagation policies control legality (paper Figure 5):
+//
+//   - no propagation: an architecture that serves as a surrogate cannot be
+//     retired by assigning its owner a surrogate (no backward propagation),
+//     and a workload that has been assigned a surrogate cannot have its own
+//     architecture serve others (no forward propagation);
+//   - forward propagation: a surrogated workload's architecture may serve
+//     others (the assignment resolves through to its root), but a provider
+//     cannot itself be surrogated;
+//   - full propagation: both directions allowed, which admits
+//     feedback-surrogating — a cycle in which two workloads surrogate each
+//     other; the cycle closes a group whose head is the provider of the
+//     closing edge.
+
+package core
+
+import (
+	"fmt"
+
+	"xpscalar/internal/stats"
+)
+
+// Policy selects the propagation rules of the greedy surrogate assignment.
+type Policy int
+
+const (
+	// PolicyNoPropagation forbids both forward and backward propagation
+	// (paper Figure 6).
+	PolicyNoPropagation Policy = iota
+	// PolicyForwardPropagation allows forward propagation only (paper
+	// Figure 8).
+	PolicyForwardPropagation
+	// PolicyFullPropagation allows both directions (paper Figure 7).
+	PolicyFullPropagation
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNoPropagation:
+		return "no-propagation"
+	case PolicyForwardPropagation:
+		return "forward-propagation"
+	case PolicyFullPropagation:
+		return "full-propagation"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Edge is one surrogate assignment: Workload runs on the architecture of
+// Surrogate (possibly resolving further through propagation).
+type Edge struct {
+	Workload  int
+	Surrogate int
+	Order     int     // 1-based assignment order (the paper's edge labels)
+	Slowdown  float64 // the workload's slowdown on the surrogate's arch
+	Feedback  bool    // this edge closed a feedback-surrogating cycle
+}
+
+// SurrogateGraph is the outcome of a greedy assignment.
+type SurrogateGraph struct {
+	m      *Matrix
+	Policy Policy
+	Edges  []Edge
+	// parent[w] is the direct surrogate of w, or -1.
+	parent []int
+	// head[w] is the resolved architecture owner for w (root of its
+	// chain, with feedback cycles resolved to their head).
+	head []int
+}
+
+// GreedySurrogates runs the greedy assignment over the matrix under the
+// policy. A nil weights slice means equal importance; otherwise slowdowns
+// are weighted by workload importance before ranking, steering the order of
+// assignments toward protecting important workloads (paper §5.4).
+func GreedySurrogates(m *Matrix, policy Policy, weights []float64) (*SurrogateGraph, error) {
+	n := m.N()
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("core: %d weights for %d workloads", len(weights), n)
+	}
+	ws := normWeights(weights, n)
+
+	g := &SurrogateGraph{m: m, Policy: policy, parent: make([]int, n), head: make([]int, n)}
+	for i := range g.parent {
+		g.parent[i] = -1
+	}
+
+	hasChild := make([]bool, n)
+	inCycle := make([]bool, n)
+	cycleHead := make([]int, n)
+	for i := range cycleHead {
+		cycleHead[i] = -1
+	}
+
+	// root resolves the architecture w's chain ends at, honouring closed
+	// cycles.
+	var root func(w int) int
+	root = func(w int) int {
+		seen := make(map[int]bool)
+		for {
+			if cycleHead[w] >= 0 {
+				return cycleHead[w]
+			}
+			p := g.parent[w]
+			if p < 0 {
+				return w
+			}
+			if seen[w] {
+				// Defensive: an unclosed cycle cannot occur, but
+				// never loop forever.
+				return w
+			}
+			seen[w] = true
+			w = p
+		}
+	}
+
+	order := 0
+	for {
+		// Find the cheapest legal assignment.
+		bestW, bestA := -1, -1
+		bestCost := 0.0
+		for w := 0; w < n; w++ {
+			if g.parent[w] >= 0 {
+				continue // already surrogated
+			}
+			if hasChild[w] && policy == PolicyNoPropagation {
+				// Surrogating a provider forwards its dependents to
+				// the new architecture — forward propagation.
+				continue
+			}
+			for a := 0; a < n; a++ {
+				if a == w {
+					continue
+				}
+				if g.parent[a] >= 0 && policy != PolicyFullPropagation {
+					// Using a surrogated workload's architecture
+					// resolves the new dependent backward through
+					// the existing chain — backward propagation.
+					continue
+				}
+				cost := m.Slowdown(w, a) * ws[w]
+				if bestW < 0 || cost < bestCost {
+					bestW, bestA, bestCost = w, a, cost
+				}
+			}
+		}
+		if bestW < 0 {
+			break // no legal assignment remains
+		}
+		order++
+		e := Edge{Workload: bestW, Surrogate: bestA, Order: order, Slowdown: m.Slowdown(bestW, bestA)}
+		g.parent[bestW] = bestA
+		hasChild[bestA] = true
+
+		// Detect a feedback cycle: walking up from the surrogate
+		// returns to the new child.
+		node := bestA
+		var path []int
+		for g.parent[node] >= 0 && cycleHead[node] < 0 {
+			path = append(path, node)
+			node = g.parent[node]
+			if node == bestW {
+				// Cycle closed: bestW -> bestA -> ... -> bestW.
+				e.Feedback = true
+				members := append(path, bestW)
+				for _, mbr := range members {
+					inCycle[mbr] = true
+					cycleHead[mbr] = bestA // provider of closing edge heads the group
+				}
+				break
+			}
+		}
+		g.Edges = append(g.Edges, e)
+	}
+
+	for w := 0; w < n; w++ {
+		g.head[w] = root(w)
+	}
+	return g, nil
+}
+
+// Parent returns the direct surrogate of w, or -1 when w's own architecture
+// survives (w is a head).
+func (g *SurrogateGraph) Parent(w int) int { return g.parent[w] }
+
+// Head returns the architecture owner workload w ultimately runs on.
+func (g *SurrogateGraph) Head(w int) int { return g.head[w] }
+
+// RemainingArchs returns the architectures that survive the assignment —
+// the cores the heterogeneous system would implement — in workload order.
+func (g *SurrogateGraph) RemainingArchs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for w := 0; w < g.m.N(); w++ {
+		h := g.head[w]
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Assignments maps every workload to the architecture its chain resolves
+// to, with the achieved IPT — unlike Matrix.Assignments, a workload is
+// bound to its surrogate even if a better architecture survives elsewhere.
+func (g *SurrogateGraph) Assignments() []Assignment {
+	out := make([]Assignment, g.m.N())
+	for w := 0; w < g.m.N(); w++ {
+		h := g.head[w]
+		out[w] = Assignment{Workload: w, Arch: h, IPT: g.m.IPT[w][h]}
+	}
+	return out
+}
+
+// HarmonicIPT returns the harmonic-mean IPT of the graph's assignments.
+func (g *SurrogateGraph) HarmonicIPT() float64 {
+	asg := g.Assignments()
+	perf := make([]float64, len(asg))
+	for i, a := range asg {
+		perf[i] = a.IPT
+	}
+	return stats.HarmonicMean(perf)
+}
+
+// AvgSlowdown returns the mean slowdown of the assignments versus every
+// workload running on its own customized architecture (the paper reports
+// ~18% for Figure 7 and ~5.66% for Figure 6).
+func (g *SurrogateGraph) AvgSlowdown() float64 {
+	n := g.m.N()
+	total := 0.0
+	for w := 0; w < n; w++ {
+		total += g.m.Slowdown(w, g.head[w])
+	}
+	return total / float64(n)
+}
+
+// FeedbackEdges returns the edges that closed feedback-surrogating cycles.
+func (g *SurrogateGraph) FeedbackEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Feedback {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func names(m *Matrix, idx []int) []string {
+	out := m.ArchNames(idx)
+	sort.Strings(out)
+	return out
+}
+
+func edgeMap(g *SurrogateGraph) map[string]string {
+	out := map[string]string{}
+	for _, e := range g.Edges {
+		out[g.m.Names[e.Workload]] = g.m.Names[e.Surrogate]
+	}
+	return out
+}
+
+// TestFigure6NoPropagation checks the paper's no-propagation numbers: a
+// four-architecture system at harmonic-mean IPT ~1.83 with an average
+// per-benchmark slowdown of ~5.66%, the bulk of it from surrogating mcf
+// onto twolf's architecture as the very last assignment.
+func TestFigure6NoPropagation(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := GreedySurrogates(m, PolicyNoPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.RemainingArchs()); got != 4 {
+		t.Errorf("remaining architectures = %d, paper keeps 4", got)
+	}
+	if har := g.HarmonicIPT(); math.Abs(har-1.83) > 0.04 {
+		t.Errorf("harmonic IPT = %.3f, paper ~1.83", har)
+	}
+	if slow := g.AvgSlowdown(); math.Abs(slow-0.0566) > 0.01 {
+		t.Errorf("avg slowdown = %.4f, paper 5.66%%", slow)
+	}
+	// mcf is the last assignment, onto twolf's architecture.
+	last := g.Edges[len(g.Edges)-1]
+	if m.Names[last.Workload] != "mcf" || m.Names[last.Surrogate] != "twolf" {
+		t.Errorf("last assignment %s -> %s, paper mcf -> twolf",
+			m.Names[last.Workload], m.Names[last.Surrogate])
+	}
+	// Adding mcf's own architecture recovers har ~2.1 at the cost of a
+	// fifth core (paper: 2.1, avg slowdown ~1.6%).
+	sel := append(g.RemainingArchs(), m.Index("mcf"))
+	if har := m.Merit(sel, MetricHar, nil); math.Abs(har-2.1) > 0.06 {
+		t.Errorf("har with mcf core added = %.3f, paper ~2.1", har)
+	}
+	// No-propagation admits no feedback cycles.
+	if fb := g.FeedbackEdges(); len(fb) != 0 {
+		t.Errorf("no-propagation produced %d feedback edges", len(fb))
+	}
+}
+
+// TestFigure7FullPropagation checks the full-propagation graph against the
+// paper's Figure 7 and its Appendix A starred links: the greedy sequence,
+// the two feedback-surrogating cycles, the surviving heads {gzip, twolf},
+// and the performance numbers.
+func TestFigure7FullPropagation(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := GreedySurrogates(m, PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Surviving heads.
+	heads := names(m, g.RemainingArchs())
+	if len(heads) != 2 || heads[0] != "gzip" || heads[1] != "twolf" {
+		t.Errorf("heads = %v, paper {gzip, twolf}", heads)
+	}
+
+	// The starred links of Appendix A (each benchmark's greedy-chosen
+	// surrogate under full propagation).
+	wantEdges := map[string]string{
+		"bzip":   "twolf",
+		"crafty": "vortex",
+		"gap":    "gzip",
+		"gcc":    "crafty",
+		"gzip":   "parser",
+		"parser": "gzip",
+		"perl":   "crafty",
+		"twolf":  "vpr",
+		"vortex": "parser",
+		"vpr":    "twolf",
+	}
+	got := edgeMap(g)
+	for w, a := range wantEdges {
+		if got[w] != a {
+			t.Errorf("surrogate of %s = %s, paper Appendix A stars %s", w, got[w], a)
+		}
+	}
+
+	// Feedback-surrogating occurs exactly twice (vpr/twolf and
+	// parser/gzip), preventing reduction to a single configuration.
+	fb := g.FeedbackEdges()
+	if len(fb) != 2 {
+		t.Fatalf("feedback edges = %d, paper describes two (vpr-twolf, parser-gzip)", len(fb))
+	}
+	fbPairs := map[string]bool{}
+	for _, e := range fb {
+		fbPairs[m.Names[e.Workload]+"/"+m.Names[e.Surrogate]] = true
+	}
+	if !fbPairs["vpr/twolf"] || !fbPairs["parser/gzip"] {
+		t.Errorf("feedback pairs = %v, want vpr/twolf and parser/gzip", fbPairs)
+	}
+
+	// Performance: harmonic-mean IPT 1.74; the paper's "~18% slowdown
+	// compared to an ideal system" is the harmonic-mean ratio.
+	if har := g.HarmonicIPT(); math.Abs(har-1.74) > 0.015 {
+		t.Errorf("harmonic IPT = %.3f, paper 1.74", har)
+	}
+	all := make([]int, m.N())
+	for i := range all {
+		all[i] = i
+	}
+	ideal := m.Merit(all, MetricHar, nil)
+	if slow := 1 - g.HarmonicIPT()/ideal; math.Abs(slow-0.18) > 0.025 {
+		t.Errorf("slowdown vs ideal = %.3f, paper ~18%%", slow)
+	}
+
+	// The order-10 assignment (crafty -> vortex) exhibits both forms of
+	// propagation, rendering gzip's architecture the surrogate for perl
+	// and gcc (paper §5.4.2).
+	var order10 Edge
+	for _, e := range g.Edges {
+		if e.Order == 10 {
+			order10 = e
+		}
+	}
+	if m.Names[order10.Workload] != "crafty" || m.Names[order10.Surrogate] != "vortex" {
+		t.Errorf("order-10 edge %s -> %s, paper crafty -> vortex",
+			m.Names[order10.Workload], m.Names[order10.Surrogate])
+	}
+	for _, w := range []string{"perl", "gcc", "crafty"} {
+		if h := g.Head(m.Index(w)); m.Names[h] != "gzip" {
+			t.Errorf("head of %s = %s, paper resolves it to gzip's architecture", w, m.Names[h])
+		}
+	}
+	// The twolf group contains bzip and vpr.
+	for _, w := range []string{"bzip", "vpr", "twolf"} {
+		if h := g.Head(m.Index(w)); m.Names[h] != "twolf" {
+			t.Errorf("head of %s = %s, want twolf", w, m.Names[h])
+		}
+	}
+}
+
+// TestFigure8ForwardPropagation checks the forward-propagation policy. The
+// paper's Figure 8 run retains two architectures (mcf and vpr, har 1.75);
+// the exact outcome depends on tie-breaking details the paper does not
+// specify, so this test pins the structural properties instead: chains form
+// (unlike no-propagation), no feedback cycles occur, and the reduction goes
+// at least as deep as full propagation's two heads.
+func TestFigure8ForwardPropagation(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := GreedySurrogates(m, PolicyForwardPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := g.FeedbackEdges(); len(fb) != 0 {
+		t.Errorf("forward propagation produced %d feedback edges, cycles require both directions", len(fb))
+	}
+	if got := len(g.RemainingArchs()); got > 2 {
+		t.Errorf("remaining architectures = %d, forward propagation reduces to <= 2 (paper: 2)", got)
+	}
+	// Chains: some workload resolves through an intermediate (its head
+	// differs from its direct surrogate).
+	chained := false
+	for _, e := range g.Edges {
+		if g.Head(e.Workload) != e.Surrogate {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Error("forward propagation produced no chains")
+	}
+	// Every edge's workload resolves to a surviving head.
+	heads := map[int]bool{}
+	for _, h := range g.RemainingArchs() {
+		heads[h] = true
+	}
+	for w := 0; w < m.N(); w++ {
+		if !heads[g.Head(w)] {
+			t.Errorf("workload %s resolves to non-head %s", m.Names[w], m.Names[g.Head(w)])
+		}
+	}
+}
+
+func TestSurrogatePoliciesOrdering(t *testing.T) {
+	// Structural guarantees across policies: no-propagation never chains
+	// (every surrogated workload's head is its direct surrogate).
+	m := paperMatrix(t)
+	g, err := GreedySurrogates(m, PolicyNoPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if g.Head(e.Workload) != e.Surrogate {
+			t.Errorf("no-propagation chained %s through %s to %s",
+				m.Names[e.Workload], m.Names[e.Surrogate], m.Names[g.Head(e.Workload)])
+		}
+	}
+	// Edge orders are 1..len(edges) and slowdowns non-decreasing for
+	// no-propagation is NOT guaranteed (legality changes), but orders
+	// must be sequential.
+	for i, e := range g.Edges {
+		if e.Order != i+1 {
+			t.Errorf("edge %d has order %d", i, e.Order)
+		}
+	}
+}
+
+func TestSurrogateWeightsSteerAssignmentOrder(t *testing.T) {
+	// Importance weights scale the slowdown costs that rank assignments
+	// (paper §5.4): making twolf unimportant should move its assignment
+	// to the very front of the greedy order, displacing the unweighted
+	// first edge (vortex -> parser).
+	m := paperMatrix(t)
+	unweighted, err := GreedySurrogates(m, PolicyNoPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Names[unweighted.Edges[0].Workload] != "vortex" {
+		t.Fatalf("unweighted first edge is %s, expected vortex (0.5%% on parser)",
+			m.Names[unweighted.Edges[0].Workload])
+	}
+
+	weights := make([]float64, m.N())
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[m.Index("twolf")] = 0.01
+	g, err := GreedySurrogates(m, PolicyNoPropagation, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Edges[0]
+	if m.Names[first.Workload] != "twolf" {
+		t.Errorf("down-weighted twolf assigned at order %d, want first", firstOrderOf(g, m.Index("twolf")))
+	}
+	if m.Names[first.Surrogate] != "vpr" {
+		t.Errorf("twolf's surrogate = %s, its cheapest is vpr (3.2%%)", m.Names[first.Surrogate])
+	}
+}
+
+func firstOrderOf(g *SurrogateGraph, w int) int {
+	for _, e := range g.Edges {
+		if e.Workload == w {
+			return e.Order
+		}
+	}
+	return -1
+}
+
+func TestSurrogateWeightsValidation(t *testing.T) {
+	m := paperMatrix(t)
+	if _, err := GreedySurrogates(m, PolicyNoPropagation, []float64{1, 2}); err == nil {
+		t.Error("accepted wrong-length weights")
+	}
+}
+
+func TestAssignmentsBindToHeads(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := GreedySurrogates(m, PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range g.Assignments() {
+		if a.Arch != g.Head(a.Workload) {
+			t.Errorf("assignment of %s bound to %s, head is %s",
+				m.Names[a.Workload], m.Names[a.Arch], m.Names[g.Head(a.Workload)])
+		}
+		if a.IPT != m.IPT[a.Workload][a.Arch] {
+			t.Errorf("assignment IPT mismatch for %s", m.Names[a.Workload])
+		}
+	}
+}
+
+func BenchmarkGreedySurrogatesFull(b *testing.B) {
+	m := paperMatrix(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedySurrogates(m, PolicyFullPropagation, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,567 @@
+// Package explore implements xp-scalar's design-space exploration: a
+// simulated-annealing search for the best superscalar configuration for a
+// workload (paper §3).
+//
+// Each annealing move follows the paper's two move classes: either the
+// clock period is varied and every unit's size is re-fitted to the number
+// of pipeline stages assigned to it, or one unit's pipeline depth is varied
+// and that unit's configuration adjusted. The objective is IPT
+// (instructions per time unit); when a configuration falls below half the
+// best observed IPT, the search rolls back to the best solution, as in the
+// paper. Evaluations early in the search use a short instruction budget and
+// switch to a longer one for refinement, mirroring the paper's 10M-then-
+// 100M SimPoint discipline at reduced scale.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// Options controls one exploration.
+type Options struct {
+	// Iterations is the number of annealing steps per chain.
+	Iterations int
+	// Chains is the number of independent annealing chains; the best
+	// result across chains wins. Chains run in parallel.
+	Chains int
+	// ShortBudget is the per-evaluation instruction count for the early
+	// phase; LongBudget for the refinement phase (paper: 10M / 100M).
+	ShortBudget, LongBudget int
+	// InitTemp is the initial annealing temperature as a fraction of the
+	// current IPT; CoolRate is the per-step geometric cooling factor.
+	InitTemp, CoolRate float64
+	// Seed makes the whole exploration deterministic.
+	Seed int64
+	// Tech is the technology the configurations are fitted against.
+	Tech tech.Params
+	// KeepTrace records the per-iteration history in the outcome.
+	KeepTrace bool
+	// Objective selects what the annealer maximizes. The zero value is
+	// the paper's raw-performance IPT; the power-aware objectives
+	// implement the combined performance/power/area extension of §3.
+	Objective power.Objective
+	// FixedClockNs, when non-zero, pins the clock period to the given
+	// value, reproducing the restricted exploration style of prior work
+	// the paper criticizes (§2.3: tools that "consider a fixed clock
+	// period across variability in other architectural parameters ...
+	// effectively diminish the true performance potential of
+	// customization"). For the ablation only.
+	FixedClockNs float64
+}
+
+// DefaultOptions returns a budget suitable for tests and examples: small
+// but sufficient for the annealer to separate the suite's regimes. Command
+// line tools scale these up.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Iterations:  120,
+		Chains:      3,
+		ShortBudget: 12000,
+		LongBudget:  40000,
+		InitTemp:    0.08,
+		CoolRate:    0.97,
+		Seed:        seed,
+		Tech:        tech.Default(),
+	}
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.Iterations < 1:
+		return fmt.Errorf("explore: iterations %d must be >= 1", o.Iterations)
+	case o.Chains < 1:
+		return fmt.Errorf("explore: chains %d must be >= 1", o.Chains)
+	case o.ShortBudget < 1000 || o.LongBudget < o.ShortBudget:
+		return fmt.Errorf("explore: budgets %d/%d malformed", o.ShortBudget, o.LongBudget)
+	case o.InitTemp <= 0 || o.CoolRate <= 0 || o.CoolRate >= 1:
+		return fmt.Errorf("explore: annealing schedule (%v, %v) malformed", o.InitTemp, o.CoolRate)
+	}
+	return o.Tech.Validate()
+}
+
+// Step is one point of an exploration trace.
+type Step struct {
+	Iteration  int
+	IPT        float64
+	BestIPT    float64
+	Accepted   bool
+	RolledBack bool
+}
+
+// Outcome is the result of exploring one workload.
+type Outcome struct {
+	Workload string
+	Best     sim.Config
+	// BestIPT is the performance of the best configuration; under a
+	// power-aware objective it is the IPT of the score-optimal point,
+	// not the maximum IPT seen.
+	BestIPT float64
+	// BestScore is the objective value of the best configuration; equal
+	// to BestIPT under the default objective.
+	BestScore   float64
+	Evaluations int
+	Trace       []Step
+}
+
+// Workload runs the annealing search for one workload and returns the best
+// configuration found — the workload's configurational characteristics.
+func Workload(p workload.Profile, opt Options) (Outcome, error) {
+	if err := opt.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+
+	type chainResult struct {
+		out Outcome
+		err error
+	}
+	results := make([]chainResult, opt.Chains)
+	var wg sync.WaitGroup
+	for ci := 0; ci < opt.Chains; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			out, err := runChain(p, opt, opt.Seed+int64(ci)*7919)
+			results[ci] = chainResult{out, err}
+		}(ci)
+	}
+	wg.Wait()
+
+	best := Outcome{}
+	totalEvals := 0
+	for _, r := range results {
+		if r.err != nil {
+			return Outcome{}, r.err
+		}
+		totalEvals += r.out.Evaluations
+		if r.out.BestScore > best.BestScore {
+			best = r.out
+		}
+	}
+	best.Evaluations = totalEvals
+	return best, nil
+}
+
+// point is a design point in move space: the free parameters from which the
+// full configuration is fitted.
+type point struct {
+	clock      float64
+	width      int
+	schedDepth int
+	lsqDepth   int
+	l1Lat      int
+	l2Lat      int
+	l1Geom     timing.CacheGeom // zero means "largest fitting"
+	l2Geom     timing.CacheGeom
+}
+
+func initialPoint() point {
+	return point{
+		clock:      0.33,
+		width:      3,
+		schedDepth: 1,
+		lsqDepth:   2,
+		l1Lat:      4,
+		l2Lat:      12,
+	}
+}
+
+// fit derives the full configuration from the point, re-sizing every unit
+// to its stage budget (the paper's adjustment step after each move). It
+// reports false when the point is infeasible (e.g. no issue queue fits).
+func (pt point) fit(t tech.Params) (sim.Config, bool) {
+	sched := timing.BudgetNs(pt.clock, pt.schedDepth, t)
+	iq := timing.FitIQ(sched, pt.width, t)
+	rob := timing.FitROB(sched, pt.width, t)
+	lsq := timing.FitLSQ(timing.BudgetNs(pt.clock, pt.lsqDepth, t), t)
+	if iq == 0 || rob == 0 || lsq == 0 {
+		return sim.Config{}, false
+	}
+	if iq > rob {
+		iq = rob
+	}
+
+	l1Budget := timing.BudgetNs(pt.clock, pt.l1Lat, t)
+	l1 := pt.l1Geom
+	if l1.Sets == 0 || timing.CacheAccessNs(l1, t) > l1Budget {
+		l1 = timing.MaxCache(l1Budget, 1, t)
+	}
+	l2Budget := timing.BudgetNs(pt.clock, pt.l2Lat, t)
+	l2 := pt.l2Geom
+	if l2.Sets == 0 || timing.CacheAccessNs(l2, t) > l2Budget {
+		l2 = timing.MaxCache(l2Budget, 2, t)
+	}
+	if l1.Sets == 0 || l2.Sets == 0 {
+		return sim.Config{}, false
+	}
+
+	cfg := sim.Config{
+		ClockNs:        pt.clock,
+		Width:          pt.width,
+		FrontEndStages: timing.FrontEndStages(pt.clock, t),
+		ROBSize:        rob,
+		IQSize:         iq,
+		LSQSize:        lsq,
+		SchedDepth:     pt.schedDepth,
+		LSQDepth:       pt.lsqDepth,
+		WakeupMinLat:   pt.schedDepth - 1,
+		L1D:            l1,
+		L1DLat:         pt.l1Lat,
+		L2:             l2,
+		L2Lat:          pt.l2Lat,
+		MemCycles:      timing.MemoryCycles(pt.clock, t),
+		Bpred:          sim.InitialConfig(t).Bpred,
+	}
+	if cfg.L2Lat < cfg.L1DLat {
+		return sim.Config{}, false
+	}
+	if err := cfg.Validate(t); err != nil {
+		return sim.Config{}, false
+	}
+	return cfg, true
+}
+
+// neighbor produces a random move from the point, following the paper's
+// move classes.
+func neighbor(pt point, rng *rand.Rand) point {
+	n := pt
+	switch rng.Intn(6) {
+	case 0: // vary the clock period; everything re-fits
+		factor := 0.85 + rng.Float64()*0.33
+		if rng.Intn(5) == 0 {
+			// Occasional long-range jump so distant clock regimes
+			// (deep-and-fast vs shallow-and-slow) stay reachable.
+			factor = 0.6 + rng.Float64()*0.9
+		}
+		n.clock = math.Max(0.08, math.Min(0.6, pt.clock*factor))
+	case 1: // vary scheduler depth
+		n.schedDepth = bump(pt.schedDepth, rng, 1, 5)
+	case 2: // vary LSQ depth
+		n.lsqDepth = bump(pt.lsqDepth, rng, 1, 4)
+	case 3: // vary L1 stage count
+		n.l1Lat = bump(pt.l1Lat, rng, 1, 8)
+		n.l1Geom = timing.CacheGeom{} // re-fit
+	case 4: // vary L2 stage count
+		n.l2Lat = bump(pt.l2Lat, rng, 2, 30)
+		n.l2Geom = timing.CacheGeom{}
+	case 5: // vary machine width
+		n.width = bump(pt.width, rng, 1, 8)
+	}
+	return n
+}
+
+// geometryMove re-picks a cache geometry among those that fit the current
+// budget, exploring associativity/block-size tradeoffs at fixed latency.
+func geometryMove(pt point, rng *rand.Rand, t tech.Params) point {
+	n := pt
+	if rng.Intn(2) == 0 {
+		cands := timing.CacheCandidates(timing.BudgetNs(pt.clock, pt.l1Lat, t), 1, t)
+		if len(cands) > 0 {
+			// Favour the larger half: small caches at long latency
+			// are rarely interesting.
+			n.l1Geom = cands[len(cands)/2+rng.Intn((len(cands)+1)/2)]
+		}
+	} else {
+		cands := timing.CacheCandidates(timing.BudgetNs(pt.clock, pt.l2Lat, t), 2, t)
+		if len(cands) > 0 {
+			n.l2Geom = cands[len(cands)/2+rng.Intn((len(cands)+1)/2)]
+		}
+	}
+	return n
+}
+
+func bump(v int, rng *rand.Rand, lo, hi int) int {
+	if rng.Intn(2) == 0 {
+		v--
+	} else {
+		v++
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := opt.Tech
+
+	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
+		budget := opt.ShortBudget
+		if iter > opt.Iterations*3/5 {
+			budget = opt.LongBudget
+		}
+		r, err := sim.Run(cfg, p, budget, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		score, err = power.Score(r, opt.Objective, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		return score, r.IPT(), nil
+	}
+
+	cur := initialPoint()
+	if opt.FixedClockNs > 0 {
+		cur.clock = opt.FixedClockNs
+		// The Table 3 stage counts may not cover the pinned period;
+		// deepen units until a feasible starting point exists.
+		for tries := 0; tries < 8; tries++ {
+			if _, ok := cur.fit(t); ok {
+				break
+			}
+			cur.schedDepth = min(cur.schedDepth+1, 5)
+			cur.lsqDepth = min(cur.lsqDepth+1, 4)
+			cur.l1Lat = min(cur.l1Lat+1, 8)
+			cur.l2Lat = min(cur.l2Lat+2, 30)
+		}
+	}
+	curCfg, ok := cur.fit(t)
+	if !ok {
+		return Outcome{}, fmt.Errorf("explore: initial point infeasible for %s", p.Name)
+	}
+	out := Outcome{Workload: p.Name}
+	curScore, _, err := evaluate(curCfg, 0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Evaluations++
+	bestPt, bestScore := cur, curScore
+
+	temp := opt.InitTemp * curScore
+	for i := 1; i <= opt.Iterations; i++ {
+		var cand point
+		if rng.Intn(4) == 0 {
+			cand = geometryMove(cur, rng, t)
+		} else {
+			cand = neighbor(cur, rng)
+		}
+		if opt.FixedClockNs > 0 {
+			cand.clock = opt.FixedClockNs
+		}
+		candCfg, ok := cand.fit(t)
+		if !ok {
+			temp *= opt.CoolRate
+			continue
+		}
+		candScore, _, err := evaluate(candCfg, i)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Evaluations++
+
+		accepted := false
+		if candScore >= curScore || rng.Float64() < math.Exp((candScore-curScore)/math.Max(temp, 1e-9)) {
+			cur, curScore = cand, candScore
+			accepted = true
+		}
+		if curScore > bestScore {
+			bestPt, bestScore = cur, curScore
+		}
+
+		rolledBack := false
+		if curScore < bestScore/2 {
+			// Paper §3's rollback rule.
+			cur, curScore = bestPt, bestScore
+			rolledBack = true
+		}
+		if opt.KeepTrace {
+			out.Trace = append(out.Trace, Step{
+				Iteration: i, IPT: candScore, BestIPT: bestScore,
+				Accepted: accepted, RolledBack: rolledBack,
+			})
+		}
+		temp *= opt.CoolRate
+	}
+
+	// Final re-evaluation of the best point at the long budget so the
+	// reported IPT is comparable across chains and workloads.
+	bestCfg, ok := bestPt.fit(t)
+	if !ok {
+		return Outcome{}, fmt.Errorf("explore: best point became infeasible for %s", p.Name)
+	}
+	r, err := sim.Run(bestCfg, p, opt.LongBudget, t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	score, err := power.Score(r, opt.Objective, t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Evaluations++
+	out.Best = bestCfg
+	out.BestIPT = r.IPT()
+	out.BestScore = score
+	return out, nil
+}
+
+// Suite explores every profile, in parallel across workloads, then applies
+// the paper's cross-seeding rule: each workload is evaluated on every other
+// workload's customized configuration, and if some other configuration
+// outperforms its own, that configuration replaces it (paper §4.1).
+func Suite(profiles []workload.Profile, opt Options) ([]Outcome, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	outs := make([]Outcome, len(profiles))
+	errs := make([]error, len(profiles))
+
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p workload.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opt
+			o.Seed = opt.Seed + int64(i)*104729
+			outs[i], errs[i] = Workload(p, o)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-seeding round.
+	if err := crossSeed(profiles, outs, opt); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// crossSeed evaluates each workload on every other outcome's configuration
+// and adopts any configuration that beats its own.
+func crossSeed(profiles []workload.Profile, outs []Outcome, opt Options) error {
+	type job struct{ wi, ci int }
+	jobs := make([]job, 0, len(profiles)*len(outs))
+	for wi := range profiles {
+		for ci := range outs {
+			if wi != ci {
+				jobs = append(jobs, job{wi, ci})
+			}
+		}
+	}
+	ipts := make([]float64, len(jobs))
+	raws := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := sim.Run(outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			score, err := power.Score(r, opt.Objective, opt.Tech)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			ipts[ji] = score
+			raws[ji] = r.IPT()
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Adopt deterministically: best donor by IPT, ties to lowest index.
+	type adoption struct {
+		wi  int
+		ipt float64
+		ci  int
+		raw float64
+	}
+	var adoptions []adoption
+	for ji, j := range jobs {
+		if ipts[ji] > outs[j.wi].BestScore {
+			adoptions = append(adoptions, adoption{j.wi, ipts[ji], j.ci, raws[ji]})
+		}
+	}
+	sort.Slice(adoptions, func(a, b int) bool {
+		if adoptions[a].wi != adoptions[b].wi {
+			return adoptions[a].wi < adoptions[b].wi
+		}
+		if adoptions[a].ipt != adoptions[b].ipt {
+			return adoptions[a].ipt > adoptions[b].ipt
+		}
+		return adoptions[a].ci < adoptions[b].ci
+	})
+	seen := map[int]bool{}
+	for _, a := range adoptions {
+		if seen[a.wi] {
+			continue
+		}
+		seen[a.wi] = true
+		outs[a.wi].Best = outs[a.ci].Best
+		outs[a.wi].BestScore = a.ipt
+		outs[a.wi].BestIPT = a.raw
+	}
+	return nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RandomConfigs returns up to n distinct valid configurations drawn by
+// random walks through the move space from the Table 3 starting point — a
+// design-space sampler for regression baselines and coverage studies.
+func RandomConfigs(n int, seed int64, t tech.Params) []sim.Config {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []sim.Config
+	pt := initialPoint()
+	for attempts := 0; len(out) < n && attempts < n*200; attempts++ {
+		if rng.Intn(4) == 0 {
+			pt = geometryMove(pt, rng, t)
+		} else {
+			pt = neighbor(pt, rng)
+		}
+		cfg, ok := pt.fit(t)
+		if !ok {
+			// Restart walks that wander infeasible.
+			pt = initialPoint()
+			continue
+		}
+		key := cfg.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, cfg)
+	}
+	return out
+}

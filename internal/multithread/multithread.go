@@ -1,0 +1,513 @@
+// Package multithread implements the paper's §5.5 extension: evaluating a
+// heterogeneous CMP under multiprogrammed job streams, where contention for
+// the core a workload was customized (or surrogated) to becomes the issue.
+//
+// Two dispatch policies are modelled — stalling until the designated
+// surrogate core frees, and redirecting to the next most suitable available
+// core — under Poisson or bursty job arrivals. The package also implements
+// the balanced-partitioning approach the paper points to (BPMST, its
+// reference [31]): a minimum spanning tree over surrogate costs is split
+// into balanced subtrees so that no single core is the designated target of
+// a disproportionate share of the submitted work.
+package multithread
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"xpscalar/internal/core"
+)
+
+// Policy selects how jobs are dispatched to cores.
+type Policy int
+
+const (
+	// StallForDesignated queues each job on its designated core even if
+	// other cores are idle.
+	StallForDesignated Policy = iota
+	// NextBestAvailable sends a job to the free core on which its
+	// workload performs best; if no core is free it waits for the first
+	// to free up.
+	NextBestAvailable
+)
+
+func (p Policy) String() string {
+	switch p {
+	case StallForDesignated:
+		return "stall-for-designated"
+	case NextBestAvailable:
+		return "next-best-available"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// System describes a heterogeneous CMP built from a cross-configuration
+// matrix: Cores lists the architecture (by matrix index) of each physical
+// core, and Designated maps each workload to the core index it is assigned
+// to (its customized or surrogate core).
+type System struct {
+	Matrix     *core.Matrix
+	Cores      []int
+	Designated []int
+}
+
+// Validate reports whether the system is well formed.
+func (s System) Validate() error {
+	if s.Matrix == nil {
+		return fmt.Errorf("multithread: nil matrix")
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("multithread: no cores")
+	}
+	for _, a := range s.Cores {
+		if a < 0 || a >= s.Matrix.N() {
+			return fmt.Errorf("multithread: core arch %d out of range", a)
+		}
+	}
+	if len(s.Designated) != s.Matrix.N() {
+		return fmt.Errorf("multithread: %d designations for %d workloads", len(s.Designated), s.Matrix.N())
+	}
+	for w, c := range s.Designated {
+		if c < 0 || c >= len(s.Cores) {
+			return fmt.Errorf("multithread: workload %d designated to core %d of %d", w, c, len(s.Cores))
+		}
+	}
+	return nil
+}
+
+// SystemFromSelection builds a System with one core per selected
+// architecture, designating every workload to the selected core it performs
+// best on.
+func SystemFromSelection(m *core.Matrix, sel []int) (System, error) {
+	if len(sel) == 0 {
+		return System{}, fmt.Errorf("multithread: empty selection")
+	}
+	des := make([]int, m.N())
+	for w := 0; w < m.N(); w++ {
+		bestArch, _ := m.BestIn(w, sel)
+		for ci, a := range sel {
+			if a == bestArch {
+				des[w] = ci
+				break
+			}
+		}
+	}
+	return System{Matrix: m, Cores: append([]int(nil), sel...), Designated: des}, nil
+}
+
+// Arrivals parameterizes the job stream.
+type Arrivals struct {
+	// Jobs is the number of jobs to simulate.
+	Jobs int
+	// MeanInterarrival is the mean time between arrival events.
+	MeanInterarrival float64
+	// Burstiness b >= 0: arrival events carry a batch of jobs with mean
+	// size 1+b, holding the long-run rate by stretching the
+	// inter-arrival gap. 0 is a plain Poisson process; larger values
+	// create the temporary hot-spots §5.5 warns about.
+	Burstiness float64
+	// MeanWork is the mean job length in instructions (exponentially
+	// distributed).
+	MeanWork float64
+	// Weights biases which workload type each job is (nil = uniform).
+	Weights []float64
+	// Seed fixes the stream.
+	Seed int64
+}
+
+func (a Arrivals) validate(n int) error {
+	switch {
+	case a.Jobs < 1:
+		return fmt.Errorf("multithread: %d jobs", a.Jobs)
+	case a.MeanInterarrival <= 0:
+		return fmt.Errorf("multithread: mean interarrival %v", a.MeanInterarrival)
+	case a.Burstiness < 0:
+		return fmt.Errorf("multithread: burstiness %v", a.Burstiness)
+	case a.MeanWork <= 0:
+		return fmt.Errorf("multithread: mean work %v", a.MeanWork)
+	case a.Weights != nil && len(a.Weights) != n:
+		return fmt.Errorf("multithread: %d weights for %d workloads", len(a.Weights), n)
+	}
+	return nil
+}
+
+// Metrics summarizes one simulation.
+type Metrics struct {
+	Jobs           int
+	AvgTurnaround  float64 // arrival to completion, time units
+	AvgServiceSlow float64 // mean of (service on assigned core / ideal own-arch service) - 1
+	Redirections   int     // jobs served on a core other than their designated one
+	MaxQueueDepth  int
+	CoreBusy       []float64 // utilization per core
+	CompletionTime float64
+}
+
+// rng is a deterministic generator (splitmix64, matching workload's).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *rng) exp(mean float64) float64 {
+	u := r.float()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -mean * math.Log(u)
+}
+
+func (r *rng) pick(weights []float64, n int) int {
+	if weights == nil {
+		return int(r.next() % uint64(n))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.float() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+type job struct {
+	kind    int
+	arrival float64
+	work    float64
+}
+
+// event-queue items: (time, core) completions.
+type completion struct {
+	time float64
+	core int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Simulate runs the job stream against the system under the policy.
+func Simulate(sys System, arr Arrivals, policy Policy) (Metrics, error) {
+	if err := sys.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if err := arr.validate(sys.Matrix.N()); err != nil {
+		return Metrics{}, err
+	}
+
+	r := &rng{state: uint64(arr.Seed)*0x9E3779B97F4A7C15 + 0xABCDEF}
+	// Generate the arrival stream.
+	jobs := make([]job, 0, arr.Jobs)
+	now := 0.0
+	for len(jobs) < arr.Jobs {
+		batch := 1
+		gapMean := arr.MeanInterarrival
+		if arr.Burstiness > 0 {
+			// Geometric batch with mean 1+b; stretch gaps to hold
+			// the long-run rate.
+			for r.float() < arr.Burstiness/(1+arr.Burstiness) && batch < arr.Jobs {
+				batch++
+			}
+			gapMean *= 1 + arr.Burstiness
+		}
+		now += r.exp(gapMean)
+		for b := 0; b < batch && len(jobs) < arr.Jobs; b++ {
+			jobs = append(jobs, job{
+				kind:    r.pick(arr.Weights, sys.Matrix.N()),
+				arrival: now,
+				work:    r.exp(arr.MeanWork),
+			})
+		}
+	}
+
+	m := sys.Matrix
+	serviceOn := func(j job, coreIdx int) float64 {
+		return j.work / m.IPT[j.kind][sys.Cores[coreIdx]]
+	}
+	idealService := func(j job) float64 {
+		return j.work / m.IPT[j.kind][j.kind]
+	}
+
+	freeAt := make([]float64, len(sys.Cores))
+	busy := make([]float64, len(sys.Cores))
+	met := Metrics{Jobs: len(jobs), CoreBusy: make([]float64, len(sys.Cores))}
+
+	switch policy {
+	case StallForDesignated:
+		// Per-core FIFO: core k serves its designated jobs in arrival
+		// order.
+		for _, j := range jobs {
+			c := sys.Designated[j.kind]
+			start := math.Max(j.arrival, freeAt[c])
+			svc := serviceOn(j, c)
+			finish := start + svc
+			freeAt[c] = finish
+			busy[c] += svc
+			met.AvgTurnaround += finish - j.arrival
+			met.AvgServiceSlow += svc/idealService(j) - 1
+			if finish > met.CompletionTime {
+				met.CompletionTime = finish
+			}
+		}
+	case NextBestAvailable:
+		// Event-driven: jobs queue globally; on dispatch opportunities
+		// each waiting job takes the best free core.
+		var h completionHeap
+		heap.Init(&h)
+		queue := make([]job, 0)
+		ji := 0
+		clock := 0.0
+		dispatch := func() {
+			for len(queue) > 0 {
+				// Find free cores at the current clock.
+				bestCore := -1
+				j := queue[0]
+				bestIPT := -1.0
+				for c := range sys.Cores {
+					if freeAt[c] <= clock {
+						if ipt := m.IPT[j.kind][sys.Cores[c]]; ipt > bestIPT {
+							bestCore, bestIPT = c, ipt
+						}
+					}
+				}
+				if bestCore < 0 {
+					return
+				}
+				queue = queue[1:]
+				svc := serviceOn(j, bestCore)
+				finish := clock + svc
+				freeAt[bestCore] = finish
+				busy[bestCore] += svc
+				heap.Push(&h, completion{finish, bestCore})
+				met.AvgTurnaround += finish - j.arrival
+				met.AvgServiceSlow += svc/idealService(j) - 1
+				if bestCore != sys.Designated[j.kind] {
+					met.Redirections++
+				}
+				if finish > met.CompletionTime {
+					met.CompletionTime = finish
+				}
+			}
+		}
+		for ji < len(jobs) || len(queue) > 0 {
+			// Advance to the next event: arrival or completion.
+			nextArr := math.Inf(1)
+			if ji < len(jobs) {
+				nextArr = jobs[ji].arrival
+			}
+			nextDone := math.Inf(1)
+			if h.Len() > 0 {
+				nextDone = h[0].time
+			}
+			if nextArr <= nextDone {
+				clock = nextArr
+				queue = append(queue, jobs[ji])
+				ji++
+			} else {
+				clock = nextDone
+				heap.Pop(&h)
+			}
+			if len(queue) > met.MaxQueueDepth {
+				met.MaxQueueDepth = len(queue)
+			}
+			dispatch()
+		}
+	default:
+		return Metrics{}, fmt.Errorf("multithread: unknown policy %v", policy)
+	}
+
+	met.AvgTurnaround /= float64(len(jobs))
+	met.AvgServiceSlow /= float64(len(jobs))
+	for c := range busy {
+		if met.CompletionTime > 0 {
+			met.CoreBusy[c] = busy[c] / met.CompletionTime
+		}
+	}
+	return met, nil
+}
+
+// Partition is a balanced grouping of workloads onto architectures.
+type Partition struct {
+	Groups [][]int // workload indices per group
+	Archs  []int   // chosen architecture per group
+}
+
+// BPMST builds a minimum spanning tree over the symmetric surrogate-cost
+// graph of the matrix, removes k-1 edges to balance the aggregate
+// importance weight of the resulting subtrees (the Balanced Partitioning of
+// Minimum Spanning Trees formulation the paper invokes for turnaround-time
+// balance), and assigns each subtree the member architecture minimizing the
+// group's weighted slowdown.
+func BPMST(m *core.Matrix, k int, weights []float64) (*Partition, error) {
+	n := m.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("multithread: k = %d outside [1,%d]", k, n)
+	}
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("multithread: %d weights for %d workloads", len(weights), n)
+	}
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = 1
+		if weights != nil {
+			ws[i] = weights[i]
+		}
+	}
+
+	// Symmetric cost: the smaller of the two mutual slowdowns — two
+	// workloads are close if either can stand in for the other.
+	cost := func(a, b int) float64 {
+		return math.Min(m.Slowdown(a, b), m.Slowdown(b, a))
+	}
+
+	// Prim's MST.
+	type mstEdge struct {
+		a, b int
+		w    float64
+	}
+	inTree := make([]bool, n)
+	inTree[0] = true
+	var edges []mstEdge
+	for len(edges) < n-1 {
+		best := mstEdge{-1, -1, math.Inf(1)}
+		for a := 0; a < n; a++ {
+			if !inTree[a] {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if inTree[b] {
+					continue
+				}
+				if c := cost(a, b); c < best.w {
+					best = mstEdge{a, b, c}
+				}
+			}
+		}
+		inTree[best.b] = true
+		edges = append(edges, best)
+	}
+
+	// Exhaustively choose k-1 edges to cut, minimizing the maximum
+	// subtree weight (n is small: C(10, k-1) at most).
+	bestCut := []int(nil)
+	bestMax := math.Inf(1)
+	idx := make([]int, k-1)
+	var rec func(start, d int)
+	components := func(cut []int) [][]int {
+		removed := map[int]bool{}
+		for _, e := range cut {
+			removed[e] = true
+		}
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for ei, e := range edges {
+			if removed[ei] {
+				continue
+			}
+			parent[find(e.a)] = find(e.b)
+		}
+		groups := map[int][]int{}
+		for i := 0; i < n; i++ {
+			r := find(i)
+			groups[r] = append(groups[r], i)
+		}
+		var out [][]int
+		for _, g := range groups {
+			sort.Ints(g)
+			out = append(out, g)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+		return out
+	}
+	rec = func(start, d int) {
+		if d == len(idx) {
+			comps := components(idx)
+			maxW := 0.0
+			for _, g := range comps {
+				sum := 0.0
+				for _, w := range g {
+					sum += ws[w]
+				}
+				if sum > maxW {
+					maxW = sum
+				}
+			}
+			if maxW < bestMax {
+				bestMax = maxW
+				bestCut = append(bestCut[:0], idx...)
+			}
+			return
+		}
+		for e := start; e < len(edges); e++ {
+			idx[d] = e
+			rec(e+1, d+1)
+		}
+	}
+	rec(0, 0)
+
+	groups := components(bestCut)
+	part := &Partition{Groups: groups}
+	for _, g := range groups {
+		bestArch, bestCost := g[0], math.Inf(1)
+		for _, cand := range g {
+			sum := 0.0
+			for _, w := range g {
+				sum += ws[w] * m.Slowdown(w, cand)
+			}
+			if sum < bestCost {
+				bestArch, bestCost = cand, sum
+			}
+		}
+		part.Archs = append(part.Archs, bestArch)
+	}
+	return part, nil
+}
+
+// SystemFromPartition builds a System with one core per partition group,
+// designating each workload to its group's core.
+func SystemFromPartition(m *core.Matrix, p *Partition) (System, error) {
+	if p == nil || len(p.Groups) == 0 {
+		return System{}, fmt.Errorf("multithread: empty partition")
+	}
+	des := make([]int, m.N())
+	for gi, g := range p.Groups {
+		for _, w := range g {
+			des[w] = gi
+		}
+	}
+	return System{Matrix: m, Cores: append([]int(nil), p.Archs...), Designated: des}, nil
+}

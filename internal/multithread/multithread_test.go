@@ -1,0 +1,361 @@
+package multithread
+
+import (
+	"math"
+	"testing"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/paperdata"
+)
+
+func paperMatrix(t testing.TB) *core.Matrix {
+	t.Helper()
+	m, err := core.NewMatrix(paperdata.Benchmarks, paperdata.Table5IPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func dualCoreSystem(t testing.TB) System {
+	t.Helper()
+	m := paperMatrix(t)
+	sys, err := SystemFromSelection(m, []int{m.Index("gcc"), m.Index("mcf")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func lightLoad() Arrivals {
+	return Arrivals{Jobs: 400, MeanInterarrival: 100, MeanWork: 50, Seed: 1}
+}
+
+func TestSystemFromSelectionDesignations(t *testing.T) {
+	m := paperMatrix(t)
+	sys, err := SystemFromSelection(m, []int{m.Index("gcc"), m.Index("mcf")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mcf must be designated to its own core, everything else to gcc's
+	// except bzip (Table 5: bzip prefers mcf's core).
+	for w, name := range m.Names {
+		wantCore := 0 // gcc
+		if name == "mcf" || name == "bzip" {
+			wantCore = 1
+		}
+		if sys.Designated[w] != wantCore {
+			t.Errorf("%s designated to core %d, want %d", name, sys.Designated[w], wantCore)
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	m := paperMatrix(t)
+	bad := []System{
+		{},
+		{Matrix: m},
+		{Matrix: m, Cores: []int{99}, Designated: make([]int, m.N())},
+		{Matrix: m, Cores: []int{0}, Designated: []int{0}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid system", i)
+		}
+	}
+	if _, err := SystemFromSelection(m, nil); err == nil {
+		t.Error("accepted empty selection")
+	}
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	sys := dualCoreSystem(t)
+	bad := []Arrivals{
+		{Jobs: 0, MeanInterarrival: 1, MeanWork: 1},
+		{Jobs: 1, MeanInterarrival: 0, MeanWork: 1},
+		{Jobs: 1, MeanInterarrival: 1, MeanWork: 0},
+		{Jobs: 1, MeanInterarrival: 1, MeanWork: 1, Burstiness: -1},
+		{Jobs: 1, MeanInterarrival: 1, MeanWork: 1, Weights: []float64{1}},
+	}
+	for i, a := range bad {
+		if _, err := Simulate(sys, a, StallForDesignated); err == nil {
+			t.Errorf("case %d: accepted invalid arrivals", i)
+		}
+	}
+}
+
+func TestLightLoadMatchesSingleThreadBehaviour(t *testing.T) {
+	// §5.5: with isolated submissions (no contention), stalling for the
+	// designated core is equivalent to single-thread assignment — the
+	// average service slowdown equals the mean cross-configuration
+	// slowdown of the designations, and turnaround ~= service time.
+	sys := dualCoreSystem(t)
+	met, err := Simulate(sys, lightLoad(), StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Jobs != 400 {
+		t.Errorf("jobs = %d", met.Jobs)
+	}
+	if met.MaxQueueDepth > 3 {
+		t.Errorf("light load queue depth %d, want tiny", met.MaxQueueDepth)
+	}
+	if met.AvgServiceSlow < 0 || met.AvgServiceSlow > 0.5 {
+		t.Errorf("avg service slowdown %.3f out of plausible range", met.AvgServiceSlow)
+	}
+}
+
+func TestContentionRaisesTurnaround(t *testing.T) {
+	sys := dualCoreSystem(t)
+	light, err := Simulate(sys, lightLoad(), StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := lightLoad()
+	heavy.MeanInterarrival = 20 // ~2.5 jobs' worth of work arriving per slot
+	hm, err := Simulate(sys, heavy, StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.AvgTurnaround <= light.AvgTurnaround {
+		t.Errorf("heavy load turnaround %.1f should exceed light %.1f", hm.AvgTurnaround, light.AvgTurnaround)
+	}
+}
+
+func TestNextBestRedirectsUnderContention(t *testing.T) {
+	// With bursty heavy load, NextBestAvailable redirects jobs to
+	// non-designated cores — trading service slowdown for waiting time.
+	sys := dualCoreSystem(t)
+	arr := lightLoad()
+	arr.MeanInterarrival = 15
+	arr.Burstiness = 2
+	stall, err := Simulate(sys, arr, StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := Simulate(sys, arr, NextBestAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Redirections == 0 {
+		t.Error("no redirections under bursty heavy load")
+	}
+	// Redirection trades waiting for service inflation: redirected jobs
+	// run slower than on their designated core, so the average service
+	// slowdown rises; the policies' turnarounds stay in the same regime
+	// (the myopic redirect is work-conserving, not idling).
+	if next.AvgServiceSlow <= stall.AvgServiceSlow {
+		t.Errorf("next-best service slowdown %.3f should exceed stalling's %.3f",
+			next.AvgServiceSlow, stall.AvgServiceSlow)
+	}
+	if next.AvgTurnaround > stall.AvgTurnaround*2 || stall.AvgTurnaround > next.AvgTurnaround*2 {
+		t.Errorf("policy turnarounds diverged wildly: %.1f vs %.1f", next.AvgTurnaround, stall.AvgTurnaround)
+	}
+}
+
+func TestBurstinessErodesHeterogeneityBenefit(t *testing.T) {
+	// §5.5's closing claim: "As the burstyness of the distribution
+	// increases the benefit of heterogeneity will diminish." Compare the
+	// service slowdown of the heterogeneous pair under next-best dispatch
+	// at low and high burstiness: with bursty arrivals more jobs land on
+	// the wrong core.
+	sys := dualCoreSystem(t)
+	arr := lightLoad()
+	arr.Jobs = 1500
+	arr.MeanInterarrival = 30
+	smooth, err := Simulate(sys, arr, NextBestAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Burstiness = 4
+	bursty, err := Simulate(sys, arr, NextBestAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Redirections <= smooth.Redirections {
+		t.Errorf("bursty redirections %d should exceed smooth %d", bursty.Redirections, smooth.Redirections)
+	}
+	if bursty.AvgServiceSlow <= smooth.AvgServiceSlow {
+		t.Errorf("bursty service slowdown %.3f should exceed smooth %.3f",
+			bursty.AvgServiceSlow, smooth.AvgServiceSlow)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	sys := dualCoreSystem(t)
+	a, err := Simulate(sys, lightLoad(), NextBestAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(sys, lightLoad(), NextBestAvailable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgTurnaround != b.AvgTurnaround || a.Redirections != b.Redirections {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestBPMSTPartitionsAreBalancedAndComplete(t *testing.T) {
+	m := paperMatrix(t)
+	for k := 2; k <= 4; k++ {
+		p, err := BPMST(m, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Groups) != k || len(p.Archs) != k {
+			t.Fatalf("k=%d: %d groups / %d archs", k, len(p.Groups), len(p.Archs))
+		}
+		seen := map[int]bool{}
+		for gi, g := range p.Groups {
+			if len(g) == 0 {
+				t.Errorf("k=%d: empty group %d", k, gi)
+			}
+			inGroup := false
+			for _, w := range g {
+				if seen[w] {
+					t.Errorf("k=%d: workload %d in two groups", k, w)
+				}
+				seen[w] = true
+				if w == p.Archs[gi] {
+					inGroup = true
+				}
+			}
+			if !inGroup {
+				t.Errorf("k=%d: group %d's arch %d not a member", k, gi, p.Archs[gi])
+			}
+		}
+		if len(seen) != m.N() {
+			t.Errorf("k=%d: %d workloads covered, want %d", k, len(seen), m.N())
+		}
+		// Balance: no group exceeds ceil(n/k)+2 members with equal
+		// weights (the partition minimizes the max group weight).
+		limit := (m.N()+k-1)/k + 2
+		for _, g := range p.Groups {
+			if len(g) > limit {
+				t.Errorf("k=%d: group of %d members, expected <= %d", k, len(g), limit)
+			}
+		}
+	}
+}
+
+func TestBPMSTWeightsShiftBalance(t *testing.T) {
+	m := paperMatrix(t)
+	weights := make([]float64, m.N())
+	for i := range weights {
+		weights[i] = 1
+	}
+	// Make mcf extremely heavy: it should end up in a small (ideally
+	// singleton) group so its core is not shared.
+	weights[m.Index("mcf")] = 50
+	p, err := BPMST(m, 3, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.Groups {
+		for _, w := range g {
+			if w == m.Index("mcf") && len(g) > 2 {
+				t.Errorf("heavy mcf landed in a %d-member group %v", len(g), g)
+			}
+		}
+	}
+}
+
+func TestBPMSTErrors(t *testing.T) {
+	m := paperMatrix(t)
+	if _, err := BPMST(m, 0, nil); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := BPMST(m, m.N()+1, nil); err == nil {
+		t.Error("accepted k>n")
+	}
+	if _, err := BPMST(m, 2, []float64{1}); err == nil {
+		t.Error("accepted bad weights")
+	}
+}
+
+func TestSystemFromPartitionRoundTrip(t *testing.T) {
+	m := paperMatrix(t)
+	p, err := BPMST(m, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := SystemFromPartition(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulation must run on the partitioned system.
+	met, err := Simulate(sys, lightLoad(), StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Jobs == 0 || math.IsNaN(met.AvgTurnaround) {
+		t.Errorf("bad metrics %+v", met)
+	}
+	if _, err := SystemFromPartition(m, nil); err == nil {
+		t.Error("accepted nil partition")
+	}
+}
+
+func TestBPMSTBalancesDesignatedLoadVsGreedy(t *testing.T) {
+	// The motivation for BPMST in §5.5: a surrogate assignment that
+	// funnels most workloads onto one core (fine for isolated jobs)
+	// creates contention hot-spots. The balanced partition must spread
+	// designated load more evenly than the best-of-selection assignment
+	// for the same core count.
+	m := paperMatrix(t)
+	p, err := BPMST(m, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for gi, g := range p.Groups {
+		counts[gi] = len(g)
+	}
+	spread := math.Abs(float64(counts[0] - counts[1]))
+
+	sel, err := m.BestCombination(2, core.MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := SystemFromSelection(m, sel.Archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selCounts := make([]int, 2)
+	for _, c := range sys.Designated {
+		selCounts[c]++
+	}
+	selSpread := math.Abs(float64(selCounts[0] - selCounts[1]))
+	if spread > selSpread {
+		t.Errorf("BPMST spread %v worse than selection spread %v", spread, selSpread)
+	}
+}
+
+func BenchmarkSimulateNextBest(b *testing.B) {
+	sys := dualCoreSystem(b)
+	arr := lightLoad()
+	arr.Jobs = 2000
+	arr.MeanInterarrival = 25
+	arr.Burstiness = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sys, arr, NextBestAvailable); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBPMST(b *testing.B) {
+	m := paperMatrix(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := BPMST(m, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package paperdata embeds the published measurements of the paper —
+// Table 4 (the customized architectural configurations of the SPEC2000
+// integer benchmarks) and Table 5 (the IPT of every benchmark on every
+// benchmark's customized architecture).
+//
+// The analysis layer (core) can therefore be validated in two modes: on the
+// simulator's own measurements (end-to-end reproduction in shape) and on
+// these published numbers (exact reproduction of Tables 6–7, Figure 4, the
+// Appendix A slowdown structure, the §5.3 subsetting pitfall, and the
+// Figure 6–8 surrogate graphs).
+package paperdata
+
+// Benchmarks lists the paper's benchmarks in the row/column order of
+// Tables 4 and 5.
+var Benchmarks = []string{
+	"bzip", "crafty", "gap", "gcc", "gzip", "mcf",
+	"parser", "perl", "twolf", "vortex", "vpr",
+}
+
+// Index returns the position of a benchmark in Benchmarks, or -1.
+func Index(name string) int {
+	for i, b := range Benchmarks {
+		if b == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table5IPT is the published cross-configuration performance matrix:
+// Table5IPT[w][a] is the IPT of benchmark w (row) executed on the
+// customized architecture of benchmark a (column).
+var Table5IPT = [][]float64{
+	//        bzip  crafty gap   gcc   gzip  mcf   parser perl  twolf vortex vpr
+	/*bzip*/ {3.15, 2.02, 1.73, 2.41, 2.11, 2.56, 2.09, 2.03, 3.05, 2.24, 2.95},
+	/*crafty*/ {0.78, 2.31, 1.15, 2.11, 1.91, 0.48, 1.97, 2.06, 1.29, 2.12, 1.30},
+	/*gap*/ {1.39, 2.75, 3.02, 2.60, 2.92, 0.89, 2.89, 2.79, 2.00, 2.47, 2.05},
+	/*gcc*/ {1.17, 2.17, 1.42, 2.27, 2.03, 0.75, 2.02, 1.63, 1.79, 2.06, 1.80},
+	/*gzip*/ {1.78, 2.56, 2.02, 2.88, 3.13, 1.28, 3.01, 2.14, 2.39, 2.57, 2.37},
+	/*mcf*/ {0.74, 0.40, 0.30, 0.45, 0.29, 0.93, 0.32, 0.41, 0.52, 0.42, 0.52},
+	/*parser*/ {1.86, 2.11, 2.19, 2.08, 2.47, 1.32, 2.62, 1.86, 2.39, 2.15, 2.30},
+	/*perl*/ {0.85, 2.02, 0.90, 1.81, 1.67, 0.54, 1.65, 2.07, 1.32, 1.81, 1.30},
+	/*twolf*/ {1.65, 0.98, 0.81, 1.26, 0.88, 1.18, 1.10, 0.91, 1.83, 1.16, 1.77},
+	/*vortex*/ {1.68, 2.98, 2.55, 3.09, 2.91, 1.07, 3.41, 2.78, 2.61, 3.43, 2.54},
+	/*vpr*/ {1.56, 1.33, 1.13, 1.72, 1.09, 1.05, 1.36, 1.29, 2.00, 1.51, 2.09},
+}
+
+// Table4Config is one column of the paper's Table 4: the customized
+// architectural configuration of one benchmark.
+type Table4Config struct {
+	Name           string
+	MemCycles      int
+	FrontEndStages int
+	Width          int
+	ROBSize        int
+	IQSize         int
+	WakeupMinLat   int
+	SchedDepth     int
+	ClockNs        float64
+	L1DAssoc       int
+	L1DBlock       int
+	L1DSets        int
+	L1DLat         int
+	L2Assoc        int
+	L2Block        int
+	L2Sets         int
+	L2Lat          int
+	LSQSize        int
+}
+
+// L1DBytes returns the L1 data cache capacity.
+func (c Table4Config) L1DBytes() int { return c.L1DAssoc * c.L1DBlock * c.L1DSets }
+
+// L2Bytes returns the L2 cache capacity.
+func (c Table4Config) L2Bytes() int { return c.L2Assoc * c.L2Block * c.L2Sets }
+
+// Table4 holds the published customized configurations, in Benchmarks
+// order.
+var Table4 = []Table4Config{
+	{Name: "bzip", MemCycles: 112, FrontEndStages: 4, Width: 5, ROBSize: 512, IQSize: 64,
+		WakeupMinLat: 0, SchedDepth: 1, ClockNs: 0.49,
+		L1DAssoc: 2, L1DBlock: 32, L1DSets: 1024, L1DLat: 2,
+		L2Assoc: 4, L2Block: 64, L2Sets: 8192, L2Lat: 15, LSQSize: 128},
+	{Name: "crafty", MemCycles: 321, FrontEndStages: 12, Width: 8, ROBSize: 64, IQSize: 32,
+		WakeupMinLat: 3, SchedDepth: 3, ClockNs: 0.19,
+		L1DAssoc: 1, L1DBlock: 8, L1DSets: 16384, L1DLat: 5,
+		L2Assoc: 16, L2Block: 64, L2Sets: 128, L2Lat: 7, LSQSize: 64},
+	{Name: "gap", MemCycles: 173, FrontEndStages: 6, Width: 4, ROBSize: 128, IQSize: 32,
+		WakeupMinLat: 1, SchedDepth: 1, ClockNs: 0.33,
+		L1DAssoc: 1, L1DBlock: 8, L1DSets: 2048, L1DLat: 2,
+		L2Assoc: 4, L2Block: 256, L2Sets: 128, L2Lat: 4, LSQSize: 256},
+	{Name: "gcc", MemCycles: 186, FrontEndStages: 7, Width: 4, ROBSize: 256, IQSize: 32,
+		WakeupMinLat: 1, SchedDepth: 2, ClockNs: 0.31,
+		L1DAssoc: 1, L1DBlock: 8, L1DSets: 32768, L1DLat: 4,
+		L2Assoc: 8, L2Block: 64, L2Sets: 1024, L2Lat: 6, LSQSize: 256},
+	{Name: "gzip", MemCycles: 198, FrontEndStages: 7, Width: 4, ROBSize: 64, IQSize: 32,
+		WakeupMinLat: 1, SchedDepth: 1, ClockNs: 0.29,
+		L1DAssoc: 1, L1DBlock: 128, L1DSets: 256, L1DLat: 3,
+		L2Assoc: 1, L2Block: 128, L2Sets: 4096, L2Lat: 5, LSQSize: 128},
+	{Name: "mcf", MemCycles: 120, FrontEndStages: 4, Width: 3, ROBSize: 1024, IQSize: 64,
+		WakeupMinLat: 0, SchedDepth: 1, ClockNs: 0.45,
+		L1DAssoc: 2, L1DBlock: 128, L1DSets: 1024, L1DLat: 5,
+		L2Assoc: 4, L2Block: 128, L2Sets: 8192, L2Lat: 27, LSQSize: 64},
+	{Name: "parser", MemCycles: 198, FrontEndStages: 7, Width: 4, ROBSize: 512, IQSize: 32,
+		WakeupMinLat: 1, SchedDepth: 2, ClockNs: 0.29,
+		L1DAssoc: 1, L1DBlock: 64, L1DSets: 2048, L1DLat: 3,
+		L2Assoc: 8, L2Block: 512, L2Sets: 32, L2Lat: 12, LSQSize: 256},
+	{Name: "perl", MemCycles: 321, FrontEndStages: 12, Width: 5, ROBSize: 256, IQSize: 32,
+		WakeupMinLat: 3, SchedDepth: 4, ClockNs: 0.19,
+		L1DAssoc: 1, L1DBlock: 8, L1DSets: 2048, L1DLat: 3,
+		L2Assoc: 16, L2Block: 64, L2Sets: 128, L2Lat: 7, LSQSize: 128},
+	{Name: "twolf", MemCycles: 172, FrontEndStages: 6, Width: 5, ROBSize: 512, IQSize: 64,
+		WakeupMinLat: 1, SchedDepth: 2, ClockNs: 0.33,
+		L1DAssoc: 8, L1DBlock: 64, L1DSets: 128, L1DLat: 3,
+		L2Assoc: 4, L2Block: 128, L2Sets: 2048, L2Lat: 12, LSQSize: 256},
+	{Name: "vortex", MemCycles: 213, FrontEndStages: 8, Width: 7, ROBSize: 512, IQSize: 32,
+		WakeupMinLat: 2, SchedDepth: 4, ClockNs: 0.27,
+		L1DAssoc: 4, L1DBlock: 32, L1DSets: 1024, L1DLat: 5,
+		L2Assoc: 16, L2Block: 128, L2Sets: 128, L2Lat: 6, LSQSize: 256},
+	{Name: "vpr", MemCycles: 172, FrontEndStages: 6, Width: 5, ROBSize: 256, IQSize: 64,
+		WakeupMinLat: 1, SchedDepth: 2, ClockNs: 0.3,
+		L1DAssoc: 2, L1DBlock: 32, L1DSets: 128, L1DLat: 2,
+		L2Assoc: 8, L2Block: 128, L2Sets: 1024, L2Lat: 12, LSQSize: 64},
+}
+
+// Table6Expected records the paper's Table 6 — the best core combinations
+// and their average / harmonic-mean IPT — for validation of the
+// combination search.
+type Table6Row struct {
+	Description string
+	Cores       []string
+	AvgIPT      float64
+	HarIPT      float64
+}
+
+// Table6Expected is the published Table 6 (the cw-har row reports only the
+// combination; its avg/har columns are as printed).
+var Table6Expected = []Table6Row{
+	{"best config for avg & har IPT", []string{"gcc"}, 2.06, 1.57},
+	{"2 best configs for avg IPT", []string{"parser", "twolf"}, 2.27, 1.76},
+	{"2 best configs for har IPT", []string{"gcc", "mcf"}, 2.12, 1.88},
+	{"2 best configs for cw-har IPT", []string{"bzip", "crafty"}, 2.18, 1.87},
+	{"3 best configs for avg IPT", []string{"crafty", "parser", "twolf"}, 2.35, 1.82},
+	{"3 best configs for har IPT", []string{"crafty", "mcf", "twolf"}, 2.27, 2.05},
+	{"4 best configs for avg & har IPT", []string{"crafty", "mcf", "parser", "twolf"}, 2.32, 2.08},
+}
+
+// Table7Expected records the paper's summary Table 7 for the dual-core
+// system: harmonic-mean IPT and slowdown versus the ideal system.
+var Table7Expected = struct {
+	IdealHar        float64
+	HomogeneousHar  float64 // all cores gcc
+	CompleteHar     float64 // complete search: gcc + mcf
+	SurrogateHar    float64 // greedy surrogates with full propagation
+	HomogeneousSlow float64
+	CompleteSlow    float64
+	SurrogateSlow   float64
+}{
+	IdealHar:        2.12,
+	HomogeneousHar:  1.57,
+	CompleteHar:     1.88,
+	SurrogateHar:    1.74,
+	HomogeneousSlow: 0.26,
+	CompleteSlow:    0.11,
+	SurrogateSlow:   0.18,
+}

@@ -1,0 +1,99 @@
+package paperdata
+
+import "testing"
+
+func TestShapes(t *testing.T) {
+	if len(Benchmarks) != 11 {
+		t.Fatalf("%d benchmarks, want 11", len(Benchmarks))
+	}
+	if len(Table5IPT) != 11 {
+		t.Fatalf("Table 5 has %d rows", len(Table5IPT))
+	}
+	for i, row := range Table5IPT {
+		if len(row) != 11 {
+			t.Errorf("Table 5 row %d has %d columns", i, len(row))
+		}
+		for j, v := range row {
+			if v <= 0 {
+				t.Errorf("Table5IPT[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	if len(Table4) != 11 {
+		t.Fatalf("Table 4 has %d configs", len(Table4))
+	}
+}
+
+func TestIndex(t *testing.T) {
+	if Index("bzip") != 0 || Index("vpr") != 10 {
+		t.Error("Index misorders benchmarks")
+	}
+	if Index("nosuch") != -1 {
+		t.Error("Index accepted unknown benchmark")
+	}
+}
+
+func TestDiagonalIsOwnOptimum(t *testing.T) {
+	// §4.1's cross-seeding rule guarantees no benchmark performs better
+	// on another's customized architecture than on its own, so the
+	// diagonal dominates each row.
+	for w, row := range Table5IPT {
+		for a, v := range row {
+			if v > row[w] {
+				t.Errorf("%s performs better on %s's arch (%v) than its own (%v)",
+					Benchmarks[w], Benchmarks[a], v, row[w])
+			}
+			_ = a
+		}
+	}
+}
+
+func TestTable4RangesMatchPaperSection42(t *testing.T) {
+	// §4.2: width 3–8, ROB 64–1024, clock 1.72–5.2GHz, L1 8K–256K,
+	// L2 128K–4M.
+	for i, c := range Table4 {
+		if c.Name != Benchmarks[i] {
+			t.Errorf("Table4[%d] named %s, want %s", i, c.Name, Benchmarks[i])
+		}
+		if c.Width < 3 || c.Width > 8 {
+			t.Errorf("%s width %d outside paper's 3-8", c.Name, c.Width)
+		}
+		if c.ROBSize < 64 || c.ROBSize > 1024 {
+			t.Errorf("%s ROB %d outside paper's 64-1024", c.Name, c.ROBSize)
+		}
+		ghz := 1 / c.ClockNs
+		if ghz < 1.7 || ghz > 5.3 {
+			t.Errorf("%s clock %.2fGHz outside paper's 1.72-5.2", c.Name, ghz)
+		}
+		if b := c.L1DBytes(); b < 8<<10 || b > 256<<10 {
+			t.Errorf("%s L1 %dB outside paper's 8K-256K", c.Name, b)
+		}
+		if b := c.L2Bytes(); b < 128<<10 || b > 4<<20 {
+			t.Errorf("%s L2 %dB outside paper's 128K-4M", c.Name, b)
+		}
+		if c.IQSize != 32 && c.IQSize != 64 {
+			t.Errorf("%s IQ %d, Table 4 uses 32 or 64", c.Name, c.IQSize)
+		}
+	}
+}
+
+func TestTable4FrontEndConsistentWithClock(t *testing.T) {
+	// The front-end stage count times the clock period covers roughly
+	// the 2ns front-end latency (Table 2).
+	for _, c := range Table4 {
+		cover := float64(c.FrontEndStages) * c.ClockNs
+		if cover < 1.75 || cover > 2.5 {
+			t.Errorf("%s front end covers %.2fns, want ~2ns", c.Name, cover)
+		}
+	}
+}
+
+func TestTable4MemCyclesConsistentWithClock(t *testing.T) {
+	// Memory cycles × clock ≈ 54-62ns effective memory latency.
+	for _, c := range Table4 {
+		ns := float64(c.MemCycles) * c.ClockNs
+		if ns < 50 || ns > 65 {
+			t.Errorf("%s memory %.1fns effective, want 50-65", c.Name, ns)
+		}
+	}
+}

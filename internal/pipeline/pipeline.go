@@ -1,0 +1,457 @@
+// Package pipeline is the cycle-level model of an out-of-order superscalar
+// core — the stand-in for SimpleScalar's sim-mase timing simulator that the
+// paper's xp-scalar framework drives.
+//
+// The model is trace-driven: it consumes the deterministic instruction
+// stream of a workload generator and accounts, cycle by cycle, for the
+// resources the paper's exploration varies — machine width, front-end
+// depth, ROB / issue-queue / load-store-queue capacities, scheduler depth,
+// the minimum wakeup latency between dependent instructions, and the data
+// cache hierarchy. Wrong-path execution is approximated by fetch redirect
+// bubbles (the standard trace-driven simplification): after a mispredicted
+// branch is fetched, fetch stalls until the branch executes, and the
+// refilled instructions pay the front-end depth again before dispatch, so
+// deeper pipelines see proportionally larger misprediction penalties.
+package pipeline
+
+import (
+	"fmt"
+
+	"xpscalar/internal/bpred"
+	"xpscalar/internal/cache"
+	"xpscalar/internal/workload"
+)
+
+// Params is the cycle-domain configuration of the core. The sim package
+// derives it from an architectural configuration plus the timing model.
+type Params struct {
+	// Width is the dispatch, issue and commit width.
+	Width int
+	// FrontEndStages is the fetch-to-dispatch depth; it sets the refill
+	// part of the misprediction penalty.
+	FrontEndStages int
+	// ROBSize, IQSize and LSQSize bound the reorder buffer, issue queue
+	// and load/store queue occupancies.
+	ROBSize, IQSize, LSQSize int
+	// SchedStages is the scheduler / register-file pipeline depth; it
+	// delays branch resolution and load initiation.
+	SchedStages int
+	// LSQStages is the load/store queue pipeline depth, paid by every
+	// memory operation before its cache access.
+	LSQStages int
+	// WakeupExtra is the minimum latency, in cycles, for awakening
+	// dependent instructions: 0 permits back-to-back issue, larger
+	// values model a pipelined scheduling loop.
+	WakeupExtra int
+	// LatL1, LatL2 and LatMem are total load-to-use cycle counts by
+	// serving level (each includes the levels probed on the way).
+	LatL1, LatL2, LatMem int
+	// MulLat and DivLat are the integer multiply / divide latencies.
+	MulLat, DivLat int
+	// MemPorts bounds memory operations issued per cycle (Table 1
+	// models the caches with two read and two write ports).
+	MemPorts int
+}
+
+// Validate reports whether the parameters describe a runnable core.
+func (p Params) Validate() error {
+	switch {
+	case p.Width < 1:
+		return fmt.Errorf("pipeline: width %d must be >= 1", p.Width)
+	case p.FrontEndStages < 1:
+		return fmt.Errorf("pipeline: front-end depth %d must be >= 1", p.FrontEndStages)
+	case p.ROBSize < p.Width:
+		return fmt.Errorf("pipeline: ROB %d must be >= width %d", p.ROBSize, p.Width)
+	case p.IQSize < 1 || p.IQSize > p.ROBSize:
+		return fmt.Errorf("pipeline: IQ %d must be in [1, ROB=%d]", p.IQSize, p.ROBSize)
+	case p.LSQSize < 1:
+		return fmt.Errorf("pipeline: LSQ %d must be >= 1", p.LSQSize)
+	case p.SchedStages < 1:
+		return fmt.Errorf("pipeline: scheduler depth %d must be >= 1", p.SchedStages)
+	case p.LSQStages < 1:
+		return fmt.Errorf("pipeline: LSQ depth %d must be >= 1", p.LSQStages)
+	case p.WakeupExtra < 0:
+		return fmt.Errorf("pipeline: wakeup latency %d must be >= 0", p.WakeupExtra)
+	case p.LatL1 < 1 || p.LatL2 < p.LatL1 || p.LatMem < p.LatL2:
+		return fmt.Errorf("pipeline: cache latencies must satisfy 1 <= L1(%d) <= L2(%d) <= mem(%d)",
+			p.LatL1, p.LatL2, p.LatMem)
+	case p.MulLat < 1 || p.DivLat < 1:
+		return fmt.Errorf("pipeline: FU latencies must be >= 1")
+	case p.MemPorts < 1:
+		return fmt.Errorf("pipeline: memory ports %d must be >= 1", p.MemPorts)
+	}
+	return nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Branch       bpred.Stats
+	L1, L2       cache.Stats
+	// LoadsByLevel counts loads by serving level (L1, L2, memory).
+	LoadsL1, LoadsL2, LoadsMem uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+const (
+	stWaiting uint8 = iota // dispatched, in IQ, operands possibly outstanding
+	stDone                 // issued; result available at doneAt
+)
+
+// robEntry is one in-flight instruction. Entries live in a ring indexed by
+// dynamic instruction number.
+type robEntry struct {
+	op      workload.Op
+	state   uint8
+	mispred bool
+	isMem   bool
+	doneAt  int64  // first cycle the result is available to consumers
+	dep1    uint64 // absolute producer indices; 0 = none
+	dep2    uint64
+	addr    uint64
+}
+
+// core carries the transient state of one simulation run.
+type core struct {
+	p    Params
+	gen  workload.Source
+	pred bpred.Predictor
+	mem  *cache.Hierarchy
+
+	rob      []robEntry
+	iq       []uint64 // absolute indices of waiting instructions, in age order
+	lsqCount int
+
+	head, tail uint64 // ROB window: [head+1, tail] are in flight (1-based)
+
+	// Front-end state.
+	fetchQ       []fetched
+	fetchedCount uint64
+	stalled      bool  // fetch blocked on an unresolved mispredict
+	resumeAt     int64 // cycle fetch may resume (stall cleared at issue)
+	total        uint64
+
+	cycle     int64
+	committed uint64
+
+	loadsL1, loadsL2, loadsMem uint64
+}
+
+type fetched struct {
+	ins     workload.Instr
+	idx     uint64
+	readyAt int64 // cycle the instruction reaches dispatch
+	mispred bool
+}
+
+// Run simulates n instructions of the source's stream on a core with the
+// given parameters, branch predictor and cache hierarchy. The source (a
+// synthetic generator or a trace replay), predictor and hierarchy are
+// consumed (their state advances); pass fresh ones for independent runs.
+func Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarchy, n int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("pipeline: instruction count %d must be positive", n)
+	}
+	c := &core{
+		p:     p,
+		gen:   gen,
+		pred:  pred,
+		mem:   mem,
+		rob:   make([]robEntry, p.ROBSize+1),
+		iq:    make([]uint64, 0, p.IQSize),
+		total: uint64(n),
+	}
+	c.resumeAt = -1
+
+	for c.committed < c.total {
+		progress := false
+		progress = c.commit() || progress
+		progress = c.issue() || progress
+		progress = c.dispatch() || progress
+		progress = c.fetch() || progress
+		if !progress {
+			next := c.nextEvent()
+			if next <= c.cycle {
+				// No progress and no pending event: the model is
+				// wedged, which indicates a bug, not a workload
+				// property.
+				return Result{}, fmt.Errorf("pipeline: deadlock at cycle %d (%d/%d committed)",
+					c.cycle, c.committed, c.total)
+			}
+			c.cycle = next
+			continue
+		}
+		c.cycle++
+	}
+
+	return Result{
+		Instructions: c.committed,
+		Cycles:       uint64(c.cycle),
+		Branch:       pred.Stats(),
+		L1:           mem.L1().Stats(),
+		L2:           mem.L2().Stats(),
+		LoadsL1:      c.loadsL1,
+		LoadsL2:      c.loadsL2,
+		LoadsMem:     c.loadsMem,
+	}, nil
+}
+
+func (c *core) slot(idx uint64) *robEntry { return &c.rob[idx%uint64(len(c.rob))] }
+
+// commit retires up to Width completed instructions from the ROB head.
+func (c *core) commit() bool {
+	n := 0
+	for n < c.p.Width && c.head < c.tail {
+		e := c.slot(c.head + 1)
+		if e.state != stDone || e.doneAt > c.cycle {
+			break
+		}
+		if e.isMem {
+			c.lsqCount--
+		}
+		c.head++
+		c.committed++
+		n++
+	}
+	return n > 0
+}
+
+// depReady reports whether the producer at absolute index dep allows a
+// consumer to issue this cycle: the producer has issued, its result is
+// available, and the wakeup loop has had WakeupExtra cycles to propagate.
+// Retirement does not waive the wakeup latency — it is a property of the
+// scheduling loop, not of the producer's ROB residency — so recently
+// retired producers (whose ring slot is still fresh) are timed the same
+// way.
+func (c *core) depReady(dep uint64) bool {
+	if dep == 0 {
+		return true
+	}
+	if dep+uint64(c.p.ROBSize) < c.tail {
+		return true // long retired; its ring slot has been reused
+	}
+	e := c.slot(dep)
+	return e.state == stDone && e.doneAt+int64(c.p.WakeupExtra) <= c.cycle
+}
+
+// issue selects up to Width ready instructions from the issue queue, oldest
+// first, and begins their execution.
+func (c *core) issue() bool {
+	issued := 0
+	memIssued := 0
+	w := 0 // compaction write cursor
+	for r := 0; r < len(c.iq); r++ {
+		idx := c.iq[r]
+		e := c.slot(idx)
+		if issued >= c.p.Width {
+			c.iq[w] = idx
+			w++
+			continue
+		}
+		if e.isMem && memIssued >= c.p.MemPorts {
+			c.iq[w] = idx
+			w++
+			continue
+		}
+		if !c.depReady(e.dep1) || !c.depReady(e.dep2) {
+			c.iq[w] = idx
+			w++
+			continue
+		}
+		// Issue: the completion time is fixed now; consumers and
+		// commit compare against doneAt.
+		lat := c.execLatency(e)
+		e.state = stDone
+		e.doneAt = c.cycle + int64(lat)
+		issued++
+		if e.isMem {
+			memIssued++
+		}
+		if e.mispred {
+			// Redirect: fetch resumes once the branch executes.
+			c.resumeAt = e.doneAt
+			c.stalled = false
+		}
+	}
+	c.iq = c.iq[:w]
+	return issued > 0
+}
+
+// execLatency computes the execution latency of an instruction at issue,
+// probing the cache hierarchy for memory operations.
+func (c *core) execLatency(e *robEntry) int {
+	sched := c.p.SchedStages - 1 // extra scheduling/regfile stages
+	switch e.op {
+	case workload.OpLoad:
+		level := c.mem.Access(e.addr, false)
+		var lat int
+		switch level {
+		case cache.LevelL1:
+			lat = c.p.LatL1
+			c.loadsL1++
+		case cache.LevelL2:
+			lat = c.p.LatL2
+			c.loadsL2++
+		default:
+			lat = c.p.LatMem
+			c.loadsMem++
+		}
+		return sched + c.p.LSQStages + lat
+	case workload.OpStore:
+		// Stores retire through the write buffer; the cache access
+		// happens now for contents modelling.
+		c.mem.Access(e.addr, true)
+		return sched + c.p.LSQStages
+	case workload.OpBranch:
+		return sched + 1
+	case workload.OpIMul:
+		return sched + c.p.MulLat
+	case workload.OpIDiv:
+		return sched + c.p.DivLat
+	default:
+		return 1 // single-cycle ALU with full bypass
+	}
+}
+
+// dispatch moves up to Width front-end instructions into the backend.
+func (c *core) dispatch() bool {
+	n := 0
+	for n < c.p.Width && len(c.fetchQ) > 0 {
+		f := &c.fetchQ[0]
+		if f.readyAt > c.cycle {
+			break
+		}
+		if c.tail-c.head >= uint64(c.p.ROBSize) {
+			break // ROB full
+		}
+		if len(c.iq) >= c.p.IQSize {
+			break // IQ full
+		}
+		isMem := f.ins.Op == workload.OpLoad || f.ins.Op == workload.OpStore
+		if isMem && c.lsqCount >= c.p.LSQSize {
+			break // LSQ full
+		}
+		c.tail++
+		e := c.slot(c.tail)
+		*e = robEntry{
+			op:      f.ins.Op,
+			state:   stWaiting,
+			mispred: f.mispred,
+			isMem:   isMem,
+			addr:    f.ins.Addr,
+		}
+		if d := f.ins.Src1Dist; d > 0 && uint64(d) < c.tail {
+			e.dep1 = c.tail - uint64(d)
+		}
+		if d := f.ins.Src2Dist; d > 0 && uint64(d) < c.tail {
+			e.dep2 = c.tail - uint64(d)
+		}
+		if isMem {
+			c.lsqCount++
+		}
+		c.iq = append(c.iq, c.tail)
+		c.fetchQ = c.fetchQ[1:]
+		n++
+	}
+	return n > 0
+}
+
+// fetch brings up to Width instructions per cycle into the front end,
+// predicting branches and stalling on mispredictions until resolution.
+func (c *core) fetch() bool {
+	if c.stalled || c.cycle < c.resumeAt {
+		return false
+	}
+	if c.fetchedCount >= c.total {
+		return false
+	}
+	// Bound the fetch buffer so the front end does not run arbitrarily
+	// far ahead of dispatch.
+	maxBuf := (c.p.FrontEndStages + 2) * c.p.Width
+	n := 0
+	takenSeen := false
+	for n < c.p.Width && len(c.fetchQ) < maxBuf && c.fetchedCount < c.total {
+		var ins workload.Instr
+		c.gen.Next(&ins)
+		c.fetchedCount++
+		f := fetched{
+			ins:     ins,
+			idx:     c.fetchedCount,
+			readyAt: c.cycle + int64(c.p.FrontEndStages),
+		}
+		if ins.Op == workload.OpBranch {
+			predTaken := c.pred.Predict(ins.PC)
+			c.pred.Update(ins.PC, ins.Taken)
+			if predTaken != ins.Taken {
+				f.mispred = true
+			}
+		}
+		c.fetchQ = append(c.fetchQ, f)
+		n++
+		if f.mispred {
+			// Everything after this branch is a redirect target;
+			// fetch stalls until the branch executes.
+			c.stalled = true
+			break
+		}
+		if ins.Op == workload.OpBranch && ins.Taken {
+			// One taken-branch redirection per cycle.
+			if takenSeen {
+				break
+			}
+			takenSeen = true
+		}
+	}
+	return n > 0
+}
+
+// nextEvent returns the earliest future cycle at which state can change:
+// an in-flight completion enabling commit or wakeup, a front-end
+// instruction reaching dispatch, or a redirect resuming fetch.
+func (c *core) nextEvent() int64 {
+	next := int64(1<<62 - 1)
+	wake := int64(c.p.WakeupExtra)
+	// Scan the full fresh window, including recently retired entries:
+	// their wakeup horizon can still gate waiting consumers.
+	lo := uint64(1)
+	if c.tail > uint64(c.p.ROBSize) {
+		lo = c.tail - uint64(c.p.ROBSize)
+	}
+	if h := c.head + 1; h < lo {
+		lo = h
+	}
+	for i := lo; i <= c.tail; i++ {
+		e := c.slot(i)
+		if e.state != stDone {
+			continue
+		}
+		// Completion enables commit at doneAt and wakes consumers at
+		// doneAt+WakeupExtra; either can be the next state change.
+		if t := e.doneAt; t > c.cycle && t < next {
+			next = t
+		}
+		if t := e.doneAt + wake; t > c.cycle && t < next {
+			next = t
+		}
+	}
+	if len(c.fetchQ) > 0 {
+		if t := c.fetchQ[0].readyAt; t > c.cycle && t < next {
+			next = t
+		}
+	}
+	if !c.stalled && c.resumeAt > c.cycle && c.resumeAt < next {
+		next = c.resumeAt
+	}
+	return next
+}

@@ -1,0 +1,333 @@
+package pipeline
+
+import (
+	"testing"
+
+	"xpscalar/internal/bpred"
+	"xpscalar/internal/cache"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// baseParams is a forgiving configuration used as the starting point for
+// the behavioural tests.
+func baseParams() Params {
+	return Params{
+		Width:          4,
+		FrontEndStages: 5,
+		ROBSize:        128,
+		IQSize:         64,
+		LSQSize:        64,
+		SchedStages:    1,
+		LSQStages:      1,
+		WakeupExtra:    0,
+		LatL1:          2,
+		LatL2:          12,
+		LatMem:         150,
+		MulLat:         3,
+		DivLat:         20,
+		MemPorts:       2,
+	}
+}
+
+// alu returns a profile that is pure ALU work with the given dependence
+// structure — handy for isolating window/width behaviour from memory and
+// branches.
+func aluProfile(depDensity, depDistMean float64) workload.Profile {
+	return workload.Profile{
+		Name:            "synthetic-alu",
+		WorkingSetBytes: 4096,
+		HotSetBytes:     4096,
+		HotFrac:         1,
+		StrideBytes:     8,
+		BranchSites:     4,
+		LoopFrac:        1,
+		LoopTrip:        1000,
+		TakenBias:       0.5,
+		DepDensity:      depDensity,
+		DepDistMean:     depDistMean,
+		Seed:            7,
+	}
+}
+
+func run(t *testing.T, p Params, prof workload.Profile, n int) Result {
+	t.Helper()
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := bpred.New(bpred.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := cache.NewHierarchy(
+		timing.CacheGeom{Sets: 512, Assoc: 2, BlockBytes: 32},
+		timing.CacheGeom{Sets: 2048, Assoc: 4, BlockBytes: 128},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, gen, pred, mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Width = 0 },
+		func(p *Params) { p.FrontEndStages = 0 },
+		func(p *Params) { p.ROBSize = 2 }, // below width
+		func(p *Params) { p.IQSize = 0 },
+		func(p *Params) { p.IQSize = p.ROBSize + 1 },
+		func(p *Params) { p.LSQSize = 0 },
+		func(p *Params) { p.SchedStages = 0 },
+		func(p *Params) { p.LSQStages = 0 },
+		func(p *Params) { p.WakeupExtra = -1 },
+		func(p *Params) { p.LatL2 = p.LatL1 - 1 },
+		func(p *Params) { p.LatMem = 0 },
+		func(p *Params) { p.MulLat = 0 },
+		func(p *Params) { p.MemPorts = 0 },
+	}
+	for i, mutate := range cases {
+		p := baseParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := baseParams().Validate(); err != nil {
+		t.Errorf("base params rejected: %v", err)
+	}
+}
+
+func TestRunRejectsBadCount(t *testing.T) {
+	gen, _ := workload.NewGenerator(aluProfile(0, 1))
+	pred, _ := bpred.New(bpred.DefaultConfig())
+	mem, _ := cache.NewHierarchy(
+		timing.CacheGeom{Sets: 64, Assoc: 1, BlockBytes: 32},
+		timing.CacheGeom{Sets: 256, Assoc: 2, BlockBytes: 64},
+	)
+	if _, err := Run(baseParams(), gen, pred, mem, 0); err == nil {
+		t.Error("Run accepted n=0")
+	}
+}
+
+func TestCommitsExactlyN(t *testing.T) {
+	res := run(t, baseParams(), aluProfile(0.3, 8), 5000)
+	if res.Instructions != 5000 {
+		t.Errorf("committed %d, want 5000", res.Instructions)
+	}
+	if res.Cycles == 0 {
+		t.Error("zero cycles")
+	}
+}
+
+func TestIPCNeverExceedsWidth(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		p := baseParams()
+		p.Width = w
+		res := run(t, p, aluProfile(0.1, 20), 20000)
+		if ipc := res.IPC(); ipc > float64(w)+1e-9 {
+			t.Errorf("width %d: IPC %.3f exceeds width", w, ipc)
+		}
+	}
+}
+
+func TestIndependentWorkSaturatesWidth(t *testing.T) {
+	// No dependences, no branches, no memory: IPC should approach width.
+	p := baseParams()
+	p.Width = 4
+	res := run(t, p, aluProfile(0, 1), 40000)
+	if ipc := res.IPC(); ipc < 3.5 {
+		t.Errorf("independent ALU IPC %.3f, want近 width 4 (>3.5)", ipc)
+	}
+}
+
+func TestSerialChainBoundsIPC(t *testing.T) {
+	// Every instruction depends on its predecessor: IPC <= 1 regardless
+	// of width.
+	p := baseParams()
+	p.Width = 8
+	p.IQSize = 128
+	p.ROBSize = 256
+	res := run(t, p, aluProfile(1, 1), 20000)
+	if ipc := res.IPC(); ipc > 1.01 {
+		t.Errorf("serial chain IPC %.3f, want <= 1", ipc)
+	}
+}
+
+func TestWakeupLatencySlowsDependentChains(t *testing.T) {
+	// The paper's "min. latency for awakening of dependent instructions"
+	// directly throttles serial chains: with extra wakeup latency k,
+	// each link costs 1+k cycles.
+	chain := aluProfile(1, 1)
+	p0 := baseParams()
+	res0 := run(t, p0, chain, 20000)
+	p3 := baseParams()
+	p3.WakeupExtra = 3
+	res3 := run(t, p3, chain, 20000)
+	r := res0.IPC() / res3.IPC()
+	if r < 3 || r > 5 {
+		t.Errorf("wakeup 0 vs 3 IPC ratio %.2f, want ~4 on a serial chain", r)
+	}
+}
+
+func TestDeeperFrontEndHurtsMispredictedWorkloads(t *testing.T) {
+	prof := workload.Profile{
+		Name:            "branchy",
+		BranchFrac:      0.25,
+		WorkingSetBytes: 4096, HotSetBytes: 4096, HotFrac: 1, StrideBytes: 8,
+		BranchSites: 64, LoopFrac: 0, LoopTrip: 2,
+		TakenBias: 0.5, RandomEntropy: 1, // coin flips: ~50% mispredicts
+		DepDensity: 0.2, DepDistMean: 10,
+		Seed: 11,
+	}
+	shallow := baseParams()
+	shallow.FrontEndStages = 3
+	deep := baseParams()
+	deep.FrontEndStages = 15
+	rs := run(t, shallow, prof, 20000)
+	rd := run(t, deep, prof, 20000)
+	if rd.IPC() >= rs.IPC() {
+		t.Errorf("deep pipe IPC %.3f should trail shallow %.3f under heavy mispredicts", rd.IPC(), rs.IPC())
+	}
+	// The penalty should be roughly proportional to the depth increase.
+	if ratio := rs.IPC() / rd.IPC(); ratio < 1.3 {
+		t.Errorf("shallow/deep IPC ratio %.2f, want > 1.3", ratio)
+	}
+}
+
+func TestBiggerROBHelpsMemoryParallelism(t *testing.T) {
+	// Independent loads over a huge footprint: a larger window exposes
+	// more memory-level parallelism (mcf's Table 4 story: ROB 1024).
+	prof := workload.Profile{
+		Name:            "mlp",
+		LoadFrac:        0.4,
+		WorkingSetBytes: 64 << 20, HotSetBytes: 1 << 10, HotFrac: 0, StrideBytes: 8,
+		BranchSites: 4, LoopFrac: 1, LoopTrip: 1000, TakenBias: 0.5,
+		DepDensity: 0.05, DepDistMean: 3,
+		Seed: 13,
+	}
+	small := baseParams()
+	small.ROBSize = 32
+	small.IQSize = 16
+	small.LSQSize = 16
+	big := baseParams()
+	big.ROBSize = 512
+	big.IQSize = 64
+	big.LSQSize = 256
+	rs := run(t, small, prof, 15000)
+	rb := run(t, big, prof, 15000)
+	if rb.IPC() <= rs.IPC()*1.5 {
+		t.Errorf("ROB 512 IPC %.3f should be >1.5x ROB 32 IPC %.3f on an MLP workload", rb.IPC(), rs.IPC())
+	}
+}
+
+func TestPointerChasingDefeatsWindow(t *testing.T) {
+	// Serialized loads: window size should barely matter.
+	prof := workload.Profile{
+		Name:            "chase",
+		LoadFrac:        0.4,
+		WorkingSetBytes: 64 << 20, HotSetBytes: 1 << 10, HotFrac: 0, StrideBytes: 8,
+		PtrChaseFrac: 1,
+		BranchSites:  4, LoopFrac: 1, LoopTrip: 1000, TakenBias: 0.5,
+		DepDensity: 0.05, DepDistMean: 3,
+		Seed: 17,
+	}
+	small := baseParams()
+	small.ROBSize = 32
+	small.IQSize = 16
+	small.LSQSize = 16
+	big := baseParams()
+	big.ROBSize = 512
+	big.IQSize = 64
+	big.LSQSize = 256
+	rs := run(t, small, prof, 6000)
+	rb := run(t, big, prof, 6000)
+	if rb.IPC() > rs.IPC()*1.3 {
+		t.Errorf("pointer chase should not benefit from window: %.3f vs %.3f", rb.IPC(), rs.IPC())
+	}
+}
+
+func TestFasterCacheRaisesIPC(t *testing.T) {
+	prof := aluProfile(0.4, 6)
+	prof.LoadFrac = 0.35
+	prof.WorkingSetBytes = 16 << 10
+	prof.HotSetBytes = 16 << 10
+	fast := baseParams()
+	fast.LatL1 = 1
+	slow := baseParams()
+	slow.LatL1 = 8
+	rf := run(t, fast, prof, 20000)
+	rs := run(t, slow, prof, 20000)
+	if rf.IPC() <= rs.IPC() {
+		t.Errorf("1-cycle L1 IPC %.3f should beat 8-cycle %.3f", rf.IPC(), rs.IPC())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := baseParams()
+	prof, _ := workload.ByName("gcc")
+	r1 := run(t, p, prof, 15000)
+	r2 := run(t, p, prof, 15000)
+	if r1 != r2 {
+		t.Errorf("simulation not deterministic:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestWholeSuiteRunsDeadlockFree(t *testing.T) {
+	// Every suite profile must complete on stressy small configurations.
+	configs := []Params{
+		baseParams(),
+		{Width: 1, FrontEndStages: 2, ROBSize: 4, IQSize: 2, LSQSize: 2,
+			SchedStages: 1, LSQStages: 1, WakeupExtra: 0,
+			LatL1: 1, LatL2: 5, LatMem: 50, MulLat: 3, DivLat: 20, MemPorts: 1},
+		{Width: 8, FrontEndStages: 13, ROBSize: 1024, IQSize: 64, LSQSize: 256,
+			SchedStages: 4, LSQStages: 2, WakeupExtra: 3,
+			LatL1: 5, LatL2: 25, LatMem: 320, MulLat: 3, DivLat: 20, MemPorts: 2},
+	}
+	for _, prof := range workload.Suite() {
+		for ci, p := range configs {
+			res := run(t, p, prof, 3000)
+			if res.Instructions != 3000 {
+				t.Errorf("%s config %d committed %d/3000", prof.Name, ci, res.Instructions)
+			}
+		}
+	}
+}
+
+func TestLoadLevelAccounting(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	res := run(t, baseParams(), prof, 20000)
+	total := res.LoadsL1 + res.LoadsL2 + res.LoadsMem
+	if total == 0 {
+		t.Fatal("no loads recorded")
+	}
+	if res.L1.Accesses == 0 || res.L2.Accesses == 0 {
+		t.Error("cache stats empty")
+	}
+	// Loads by level must equal L1 load accesses... loads are a subset of
+	// L1 accesses (stores also access). At minimum, totals are plausible:
+	if total > res.L1.Accesses {
+		t.Errorf("loads by level %d exceed L1 accesses %d", total, res.L1.Accesses)
+	}
+}
+
+func BenchmarkPipelineGCC(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	p := baseParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen, _ := workload.NewGenerator(prof)
+		pred, _ := bpred.New(bpred.DefaultConfig())
+		mem, _ := cache.NewHierarchy(
+			timing.CacheGeom{Sets: 512, Assoc: 2, BlockBytes: 32},
+			timing.CacheGeom{Sets: 2048, Assoc: 4, BlockBytes: 128},
+		)
+		if _, err := Run(p, gen, pred, mem, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package regression implements the regression-model alternative to
+// simulation-driven exploration that the paper examines and critiques
+// (§2.3, Lee & Brooks): fit a closed-form predictor of performance over
+// configuration parameters from a sample of simulated design points, then
+// use the cheap predictor in place of simulation.
+//
+// The paper's criticism is methodological: the accuracy of such models is
+// verified in a space that may be a distorted subset (no clock-period
+// variability, no pipeline-depth/global-clock coupling) or superset
+// (ignoring fit constraints) of the real design space, so conclusions drawn
+// from them can mislead exploration and clustering. This package makes that
+// argument reproducible: train a model on one region of the space and
+// measure how its ranking degrades elsewhere (see tests and the ablation
+// bench).
+package regression
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// Sample is one simulated design point for a fixed workload.
+type Sample struct {
+	Config sim.Config
+	IPT    float64
+}
+
+// Model is a ridge-regression predictor of IPT over configuration features,
+// optionally with pairwise quadratic interaction terms (Lee & Brooks use
+// non-linear regression; quadratic expansion is the stdlib-friendly
+// equivalent).
+type Model struct {
+	quadratic bool
+	mean, std []float64 // feature standardization
+	weights   []float64 // includes intercept at index 0
+}
+
+// featurize expands a configuration into the raw feature vector.
+func featurize(c sim.Config, quadratic bool) []float64 {
+	base := c.Vector()
+	if !quadratic {
+		return base
+	}
+	out := append([]float64(nil), base...)
+	for i := 0; i < len(base); i++ {
+		for j := i; j < len(base); j++ {
+			out = append(out, base[i]*base[j])
+		}
+	}
+	return out
+}
+
+// Train fits a ridge regression with penalty lambda on the samples.
+func Train(samples []Sample, quadratic bool, lambda float64) (*Model, error) {
+	if len(samples) < 3 {
+		return nil, fmt.Errorf("regression: %d samples, need >= 3", len(samples))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("regression: negative ridge penalty %v", lambda)
+	}
+
+	raw := make([][]float64, len(samples))
+	for i, s := range samples {
+		raw[i] = featurize(s.Config, quadratic)
+	}
+	dims := len(raw[0])
+
+	// Standardize features for a well-conditioned system.
+	mean := make([]float64, dims)
+	std := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		for _, row := range raw {
+			mean[d] += row[d]
+		}
+		mean[d] /= float64(len(raw))
+		for _, row := range raw {
+			diff := row[d] - mean[d]
+			std[d] += diff * diff
+		}
+		std[d] = math.Sqrt(std[d] / float64(len(raw)))
+		if std[d] == 0 {
+			std[d] = 1
+		}
+	}
+
+	// Design matrix with intercept.
+	n := len(samples)
+	p := dims + 1
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i, s := range samples {
+		x[i] = make([]float64, p)
+		x[i][0] = 1
+		for d := 0; d < dims; d++ {
+			x[i][d+1] = (raw[i][d] - mean[d]) / std[d]
+		}
+		y[i] = s.IPT
+	}
+
+	// Normal equations: (X'X + λI) w = X'y; intercept unpenalized.
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for r := 0; r < p; r++ {
+		a[r] = make([]float64, p)
+		for c := 0; c < p; c++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += x[i][r] * x[i][c]
+			}
+			a[r][c] = sum
+		}
+		if r > 0 {
+			a[r][r] += lambda
+		}
+		for i := 0; i < n; i++ {
+			b[r] += x[i][r] * y[i]
+		}
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{quadratic: quadratic, mean: mean, std: std, weights: w}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("regression: singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := m[r][n]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * w[c]
+		}
+		w[r] = sum / m[r][r]
+	}
+	return w, nil
+}
+
+// Predict returns the model's IPT estimate for a configuration.
+func (m *Model) Predict(c sim.Config) float64 {
+	raw := featurize(c, m.quadratic)
+	out := m.weights[0]
+	for d, v := range raw {
+		out += m.weights[d+1] * (v - m.mean[d]) / m.std[d]
+	}
+	return out
+}
+
+// CollectSamples simulates a workload on every configuration, in parallel,
+// producing training data.
+func CollectSamples(p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]Sample, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("regression: no configurations")
+	}
+	samples := make([]Sample, len(configs))
+	errs := make([]error, len(configs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cfg := range configs {
+		wg.Add(1)
+		go func(i int, cfg sim.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := sim.Run(cfg, p, instr, t)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			samples[i] = Sample{Config: cfg, IPT: r.IPT()}
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// Metrics quantify a model against held-out samples.
+type Metrics struct {
+	// MAE is the mean absolute prediction error (IPT units).
+	MAE float64
+	// MAPE is the mean absolute percentage error.
+	MAPE float64
+	// Spearman is the rank correlation between predicted and true IPT —
+	// the quantity that matters for exploration, where only ordering
+	// counts.
+	Spearman float64
+	// Top1Hit reports whether the model's predicted-best configuration
+	// is the true best.
+	Top1Hit bool
+}
+
+// Evaluate measures the model on held-out samples.
+func Evaluate(m *Model, held []Sample) (Metrics, error) {
+	if len(held) < 2 {
+		return Metrics{}, fmt.Errorf("regression: %d held-out samples, need >= 2", len(held))
+	}
+	pred := make([]float64, len(held))
+	truth := make([]float64, len(held))
+	var mae, mape float64
+	for i, s := range held {
+		pred[i] = m.Predict(s.Config)
+		truth[i] = s.IPT
+		mae += math.Abs(pred[i] - s.IPT)
+		if s.IPT > 0 {
+			mape += math.Abs(pred[i]-s.IPT) / s.IPT
+		}
+	}
+	met := Metrics{
+		MAE:      mae / float64(len(held)),
+		MAPE:     mape / float64(len(held)),
+		Spearman: spearman(pred, truth),
+	}
+	met.Top1Hit = argmax(pred) == argmax(truth)
+	return met, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// vectors (ties broken by index, adequate for continuous predictions).
+func spearman(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := float64(ra[i] - rb[i])
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]int, len(xs))
+	for rank, i := range idx {
+		out[i] = rank
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpscalar/internal/explore"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// syntheticSamples builds samples whose IPT is an exact linear function of
+// the configuration features, letting tests check recovery.
+func syntheticSamples(t *testing.T, n int, seed int64) []Sample {
+	t.Helper()
+	tp := tech.Default()
+	configs := explore.RandomConfigs(n, seed, tp)
+	if len(configs) < n/2 {
+		t.Fatalf("sampler produced only %d configs", len(configs))
+	}
+	out := make([]Sample, len(configs))
+	for i, c := range configs {
+		v := c.Vector()
+		out[i] = Sample{Config: c, IPT: 1.5 + 0.8*v[0] + 0.1*v[3] - 0.05*v[1] + 0.02*v[8] + 0.01*v[10]}
+	}
+	return out
+}
+
+func TestTrainRecoversLinearFunction(t *testing.T) {
+	samples := syntheticSamples(t, 80, 1)
+	m, err := Train(samples[:60], false, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := Evaluate(m, samples[60:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MAE > 0.01 {
+		t.Errorf("MAE %.4f on an exactly-linear target, want ~0", met.MAE)
+	}
+	// Configurations sharing every targeted feature tie in IPT, and ties
+	// rank arbitrarily, so demand near- rather than exactly-perfect rank
+	// correlation.
+	if met.Spearman < 0.85 {
+		t.Errorf("Spearman %.3f on an exactly-linear target", met.Spearman)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, false, 0.1); err == nil {
+		t.Error("accepted empty samples")
+	}
+	samples := syntheticSamples(t, 10, 2)
+	if _, err := Train(samples, false, -1); err == nil {
+		t.Error("accepted negative lambda")
+	}
+}
+
+func TestQuadraticFitsCurvatureBetter(t *testing.T) {
+	// Target with an interaction term: quadratic expansion must fit it,
+	// linear cannot.
+	tp := tech.Default()
+	configs := explore.RandomConfigs(120, 3, tp)
+	samples := make([]Sample, len(configs))
+	for i, c := range configs {
+		v := c.Vector()
+		samples[i] = Sample{Config: c, IPT: 1 + 0.3*v[0]*v[1] + 0.05*v[3]}
+	}
+	split := len(samples) * 3 / 4
+	lin, err := Train(samples[:split], false, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Train(samples[:split], true, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linMet, err := Evaluate(lin, samples[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadMet, err := Evaluate(quad, samples[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quadMet.MAE >= linMet.MAE {
+		t.Errorf("quadratic MAE %.4f should beat linear %.4f on an interaction target",
+			quadMet.MAE, linMet.MAE)
+	}
+}
+
+func realSamples(t *testing.T, name string, configs []sim.Config, instr int) []Sample {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	samples, err := CollectSamples(p, configs, instr, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestModelRanksRealSimulations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tp := tech.Default()
+	configs := explore.RandomConfigs(90, 11, tp)
+	samples := realSamples(t, "gzip", configs, 6000)
+	split := len(samples) * 2 / 3
+	// Linear model: the quadratic expansion has more parameters than
+	// training points at this sample size and overfits badly — itself a
+	// data point for §2.3.
+	m, err := Train(samples[:split], false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := Evaluate(m, samples[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model must carry real ordering signal...
+	if met.Spearman < 0.3 {
+		t.Errorf("Spearman %.3f on held-out simulations, want > 0.3", met.Spearman)
+	}
+	// ...but §2.3's point stands: it is far from a perfect oracle.
+	if met.MAPE == 0 {
+		t.Error("a regression model cannot be exact over this space")
+	}
+}
+
+func TestDistortedSpaceCritique(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	// The paper's §2.3 argument, made concrete: train the model only on
+	// configurations from a narrow clock band (a "distorted subset" of
+	// the space) and evaluate its ranking on the full space. The rank
+	// correlation must degrade versus a model trained on the full space.
+	tp := tech.Default()
+	configs := explore.RandomConfigs(90, 17, tp)
+	samples := realSamples(t, "twolf", configs, 6000)
+
+	var narrow, all []Sample
+	for _, s := range samples {
+		if s.Config.ClockNs > 0.30 && s.Config.ClockNs < 0.40 {
+			narrow = append(narrow, s)
+		}
+		all = append(all, s)
+	}
+	if len(narrow) < 10 {
+		t.Skipf("only %d narrow-band samples", len(narrow))
+	}
+	rand.New(rand.NewSource(5)).Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	split := len(all) * 2 / 3
+	full, err := Train(all[:split], false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distorted, err := Train(narrow, false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMet, err := Evaluate(full, all[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	distMet, err := Evaluate(distorted, all[split:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distMet.Spearman >= fullMet.Spearman {
+		t.Errorf("narrow-band model Spearman %.3f should trail full-space %.3f (the §2.3 critique)",
+			distMet.Spearman, fullMet.Spearman)
+	}
+}
+
+func TestSpearmanProperties(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if s := spearman(a, a); math.Abs(s-1) > 1e-12 {
+		t.Errorf("self-correlation %v", s)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if s := spearman(a, rev); math.Abs(s+1) > 1e-12 {
+		t.Errorf("reverse correlation %v", s)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	w, err := solve([][]float64{{2, 1}, {1, 3}}, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-9 || math.Abs(w[1]-3) > 1e-9 {
+		t.Errorf("solve = %v, want [1 3]", w)
+	}
+	if _, err := solve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted a singular system")
+	}
+}
+
+func TestCollectSamplesValidation(t *testing.T) {
+	p, _ := workload.ByName("gzip")
+	if _, err := CollectSamples(p, nil, 1000, tech.Default()); err == nil {
+		t.Error("accepted empty config list")
+	}
+}
+
+func TestRandomConfigsAreValidAndDistinct(t *testing.T) {
+	tp := tech.Default()
+	configs := explore.RandomConfigs(40, 9, tp)
+	if len(configs) < 20 {
+		t.Fatalf("sampler produced only %d configs", len(configs))
+	}
+	seen := map[string]bool{}
+	for _, c := range configs {
+		if err := c.Validate(tp); err != nil {
+			t.Errorf("invalid sampled config: %v", err)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate config %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func BenchmarkTrainQuadratic(b *testing.B) {
+	tp := tech.Default()
+	configs := explore.RandomConfigs(60, 1, tp)
+	samples := make([]Sample, len(configs))
+	for i, c := range configs {
+		v := c.Vector()
+		samples[i] = Sample{Config: c, IPT: 1 + v[0] + 0.1*v[3]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(samples, true, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package report renders the framework's results in the shapes the paper
+// publishes them: aligned text tables (Tables 4–7), percentage slowdown
+// matrices (Appendix A), ASCII Kiviat plots (Figure 1), dendrograms, and
+// indented surrogating-graphs (Figures 6–8).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/subsetting"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with column alignment.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrossMatrix renders an IPT matrix in Table 5's layout: workloads as rows,
+// architectures as columns.
+func CrossMatrix(w io.Writer, m *core.Matrix) error {
+	t := &Table{Header: append([]string{"workload\\arch"}, m.Names...)}
+	for i, name := range m.Names {
+		row := []string{name}
+		for j := range m.Names {
+			row = append(row, fmt.Sprintf("%.2f", m.IPT[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Write(w)
+}
+
+// SlowdownMatrix renders Appendix A: percentage slowdown of each workload
+// (row) on each architecture (column), with the graph's selected links
+// starred when a surrogate graph is supplied.
+func SlowdownMatrix(w io.Writer, m *core.Matrix, g *core.SurrogateGraph) error {
+	marked := map[[2]int]bool{}
+	if g != nil {
+		for _, e := range g.Edges {
+			marked[[2]int{e.Workload, e.Surrogate}] = true
+		}
+	}
+	t := &Table{Header: append([]string{"workload\\arch"}, m.Names...)}
+	s := m.SlowdownMatrix()
+	for i, name := range m.Names {
+		row := []string{name}
+		for j := range m.Names {
+			cell := fmt.Sprintf("%.1f%%", s[i][j]*100)
+			if marked[[2]int{i, j}] {
+				cell = "*" + cell
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.Write(w)
+}
+
+// SurrogateGraph renders the graph as indented groups, one per surviving
+// architecture, in the style of Figures 6–8: the head first, then its
+// direct and transitive dependents with the assignment order and slowdown.
+func SurrogateGraph(w io.Writer, m *core.Matrix, g *core.SurrogateGraph) error {
+	if _, err := fmt.Fprintf(w, "policy: %v   harmonic IPT: %.3f   avg slowdown: %.1f%%\n",
+		g.Policy, g.HarmonicIPT(), g.AvgSlowdown()*100); err != nil {
+		return err
+	}
+	orderOf := map[int]core.Edge{}
+	for _, e := range g.Edges {
+		orderOf[e.Workload] = e
+	}
+	for _, head := range g.RemainingArchs() {
+		if _, err := fmt.Fprintf(w, "(%s)\n", m.Names[head]); err != nil {
+			return err
+		}
+		// Group members sorted by assignment order.
+		var members []int
+		for wl := 0; wl < m.N(); wl++ {
+			if g.Head(wl) == head && wl != head {
+				members = append(members, wl)
+			}
+		}
+		sort.Slice(members, func(a, b int) bool {
+			return orderOf[members[a]].Order < orderOf[members[b]].Order
+		})
+		for _, wl := range members {
+			e := orderOf[wl]
+			note := ""
+			if e.Feedback {
+				note = "  [feedback]"
+			}
+			via := ""
+			if e.Surrogate != head {
+				via = fmt.Sprintf(" via %s", m.Names[e.Surrogate])
+			}
+			if _, err := fmt.Fprintf(w, "  %2d. %-8s %.1f%% slowdown%s%s\n",
+				e.Order, m.Names[wl], e.Slowdown*100, via, note); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Kiviat renders one workload's five-axis Kiviat vector as a horizontal bar
+// sketch (an ASCII stand-in for Figure 1's radar plots).
+func Kiviat(w io.Writer, k subsetting.Kiviat) error {
+	if _, err := fmt.Fprintf(w, "%s\n", k.Name); err != nil {
+		return err
+	}
+	labels := []string{"A ws  ", "B pred", "C deps", "D lds ", "E brs "}
+	for i, v := range k.Axes {
+		n := int(v + 0.5)
+		if _, err := fmt.Fprintf(w, "  %s |%s%s| %4.1f\n",
+			labels[i], strings.Repeat("#", n), strings.Repeat(".", subsetting.KiviatScale-n), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Heatmap renders the cross-configuration slowdown matrix as an ASCII
+// heat map — the paper's xp-scalar ships "a tool for visualizing the
+// performance of the benchmarks on each other's customized configurations,
+// which eases the identification of discrepancies" (§3); this is that
+// tool's text rendering. Each cell shades the workload's slowdown on the
+// architecture: ' ' under 5%, '░' under 15%, '▒' under 30%, '▓' under 50%,
+// '█' beyond.
+func Heatmap(w io.Writer, m *core.Matrix) error {
+	shade := func(s float64) string {
+		switch {
+		case s < 0.05:
+			return " ·"
+		case s < 0.15:
+			return " ░"
+		case s < 0.30:
+			return " ▒"
+		case s < 0.50:
+			return " ▓"
+		default:
+			return " █"
+		}
+	}
+	width := 0
+	for _, n := range m.Names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s", width, ""); err != nil {
+		return err
+	}
+	for i := range m.Names {
+		if _, err := fmt.Fprintf(w, " %c", 'A'+i); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	s := m.SlowdownMatrix()
+	for i, name := range m.Names {
+		if _, err := fmt.Fprintf(w, "%*s", width, name); err != nil {
+			return err
+		}
+		for j := range m.Names {
+			if _, err := io.WriteString(w, shade(s[i][j])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "   (%c = %s's arch)\n", 'A'+i, name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "\nshades: · <5%   ░ <15%   ▒ <30%   ▓ <50%   █ >=50% slowdown")
+	return err
+}
+
+// Dendrogram renders the clustering tree sideways, leaves labelled by
+// names, with merge heights.
+func Dendrogram(w io.Writer, node *subsetting.DendrogramNode, names []string) error {
+	var walk func(n *subsetting.DendrogramNode, depth int) error
+	walk = func(n *subsetting.DendrogramNode, depth int) error {
+		indent := strings.Repeat("  ", depth)
+		if n.Item >= 0 {
+			_, err := fmt.Fprintf(w, "%s- %s\n", indent, names[n.Item])
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s+ (h=%.2f)\n", indent, n.Height); err != nil {
+			return err
+		}
+		if err := walk(n.Left, depth+1); err != nil {
+			return err
+		}
+		return walk(n.Right, depth+1)
+	}
+	return walk(node, 0)
+}

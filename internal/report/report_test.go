@@ -1,0 +1,179 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/paperdata"
+	"xpscalar/internal/subsetting"
+	"xpscalar/internal/workload"
+)
+
+func paperMatrix(t *testing.T) *core.Matrix {
+	t.Helper()
+	m, err := core.NewMatrix(paperdata.Benchmarks, paperdata.Table5IPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "2.50")
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header %q", lines[0])
+	}
+	// The value column starts at the same offset in every row.
+	off := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "2.50") != off {
+		t.Errorf("columns misaligned:\n%s", b.String())
+	}
+}
+
+func TestCrossMatrixContainsAllCells(t *testing.T) {
+	m := paperMatrix(t)
+	var b strings.Builder
+	if err := CrossMatrix(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range m.Names {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "3.15") || !strings.Contains(out, "0.93") {
+		t.Error("missing known Table 5 entries")
+	}
+}
+
+func TestSlowdownMatrixStarsGraphEdges(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := core.GreedySurrogates(m, core.PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SlowdownMatrix(&b, m, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "*"); got != len(g.Edges) {
+		t.Errorf("%d starred cells for %d edges", got, len(g.Edges))
+	}
+	// Without a graph: no stars.
+	b.Reset()
+	if err := SlowdownMatrix(&b, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "*") {
+		t.Error("unexpected stars without a graph")
+	}
+}
+
+func TestSurrogateGraphRendering(t *testing.T) {
+	m := paperMatrix(t)
+	g, err := core.GreedySurrogates(m, core.PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := SurrogateGraph(&b, m, g); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, head := range []string{"(gzip)", "(twolf)"} {
+		if !strings.Contains(out, head) {
+			t.Errorf("missing head %s in:\n%s", head, out)
+		}
+	}
+	if !strings.Contains(out, "[feedback]") {
+		t.Error("missing feedback annotation")
+	}
+	if !strings.Contains(out, "harmonic IPT: 1.740") {
+		t.Errorf("missing harmonic IPT line:\n%s", out)
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	m := paperMatrix(t)
+	var b strings.Builder
+	if err := Heatmap(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range m.Names {
+		if !strings.Contains(out, name) {
+			t.Errorf("heatmap missing %s", name)
+		}
+	}
+	// The diagonal is all zero slowdown: at least 11 '·' cells.
+	if strings.Count(out, "·") < 11 {
+		t.Errorf("heatmap missing diagonal cells:\n%s", out)
+	}
+	// mcf's row is the darkest: it must contain full blocks.
+	if !strings.Contains(out, "█") {
+		t.Errorf("heatmap has no >=50%% cells, but mcf suffers up to 68%%:\n%s", out)
+	}
+	if !strings.Contains(out, "shades:") {
+		t.Error("heatmap missing legend")
+	}
+}
+
+func TestKiviatRendering(t *testing.T) {
+	ps := workload.IllustrativeProfiles()
+	var cs []workload.Characteristics
+	for _, p := range ps {
+		c, err := workload.Extract(p, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	ks, err := subsetting.KiviatSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Kiviat(&b, ks[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "alpha") {
+		t.Error("missing workload name")
+	}
+	if strings.Count(out, "|") != 10 { // five axes, two bars each
+		t.Errorf("expected 5 axis bars:\n%s", out)
+	}
+}
+
+func TestDendrogramRendering(t *testing.T) {
+	d := subsetting.DistanceMatrix([][]float64{{0}, {0.1}, {5}})
+	root, err := subsetting.Dendrogram(d, subsetting.SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Dendrogram(&b, root, []string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, leaf := range []string{"- x", "- y", "- z"} {
+		if !strings.Contains(out, leaf) {
+			t.Errorf("missing leaf %q in:\n%s", leaf, out)
+		}
+	}
+	if strings.Count(out, "+") != 2 {
+		t.Errorf("expected 2 merges:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpscalar/internal/tech"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// randomValidConfig draws a valid configuration by perturbing the initial
+// point the way the explorer does, re-fitting sizes at each step.
+func randomValidConfig(rng *rand.Rand, t tech.Params) (Config, bool) {
+	clock := 0.2 + rng.Float64()*0.3
+	width := 1 + rng.Intn(8)
+	sched := 1 + rng.Intn(3)
+	lsqD := 1 + rng.Intn(3)
+	l1Lat := 1 + rng.Intn(5)
+	l2Lat := l1Lat + 1 + rng.Intn(10)
+
+	iq := timing.FitIQ(timing.BudgetNs(clock, sched, t), width, t)
+	rob := timing.FitROB(timing.BudgetNs(clock, sched, t), width, t)
+	lsq := timing.FitLSQ(timing.BudgetNs(clock, lsqD, t), t)
+	l1 := timing.MaxCache(timing.BudgetNs(clock, l1Lat, t), 1, t)
+	l2 := timing.MaxCache(timing.BudgetNs(clock, l2Lat, t), 2, t)
+	if iq == 0 || rob == 0 || lsq == 0 || l1.Sets == 0 || l2.Sets == 0 || rob < width {
+		return Config{}, false
+	}
+	if iq > rob {
+		iq = rob
+	}
+	c := Config{
+		ClockNs:        clock,
+		Width:          width,
+		FrontEndStages: timing.FrontEndStages(clock, t),
+		ROBSize:        rob,
+		IQSize:         iq,
+		LSQSize:        lsq,
+		SchedDepth:     sched,
+		LSQDepth:       lsqD,
+		WakeupMinLat:   sched - 1,
+		L1D:            l1,
+		L1DLat:         l1Lat,
+		L2:             l2,
+		L2Lat:          l2Lat,
+		MemCycles:      timing.MemoryCycles(clock, t),
+		Bpred:          InitialConfig(t).Bpred,
+	}
+	return c, c.Validate(t) == nil
+}
+
+// TestQuickWholeStackInvariants drives random valid configurations and
+// random suite workloads through the entire simulator stack, checking the
+// invariants every run must satisfy: exact commit count, IPC bounded by
+// width, positive IPT, and determinism.
+func TestQuickWholeStackInvariants(t *testing.T) {
+	tp := tech.Default()
+	suite := workload.Suite()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, ok := randomValidConfig(rng, tp)
+		if !ok {
+			return true // infeasible draw; nothing to check
+		}
+		prof := suite[rng.Intn(len(suite))]
+		const n = 2500
+		r1, err := Run(cfg, prof, n, tp)
+		if err != nil {
+			t.Logf("run failed for %v on %s: %v", cfg, prof.Name, err)
+			return false
+		}
+		if r1.Instructions != n {
+			return false
+		}
+		if r1.IPC() > float64(cfg.Width)+1e-9 || r1.IPC() <= 0 {
+			return false
+		}
+		if r1.IPT() != r1.IPC()/cfg.ClockNs {
+			return false
+		}
+		r2, err := Run(cfg, prof, n, tp)
+		if err != nil {
+			return false
+		}
+		return r1.Cycles == r2.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package stats provides the small statistical and combinatorial toolkit
+// shared by the characterization, exploration and clustering layers:
+// weighted means (including the paper's harmonic and contention-weighted
+// harmonic figures of merit), distance metrics, matrix helpers and k-subset
+// enumeration for the exhaustive core-combination search.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns the weighted arithmetic mean of xs. Weights need not
+// be normalized. It returns 0 if the total weight is 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("stats: WeightedMean length mismatch %d vs %d", len(xs), len(ws)))
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		sum += ws[i] * x
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// HarmonicMean returns the harmonic mean of xs. Any non-positive element
+// makes the harmonic mean 0, matching its use as a performance figure of
+// merit (a workload with zero throughput dominates total execution time).
+func HarmonicMean(xs []float64) float64 {
+	return WeightedHarmonicMean(xs, nil)
+}
+
+// WeightedHarmonicMean returns the weighted harmonic mean of xs; a nil ws
+// means equal weights. Non-positive elements yield 0.
+func WeightedHarmonicMean(xs, ws []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if ws != nil && len(ws) != len(xs) {
+		panic(fmt.Sprintf("stats: WeightedHarmonicMean length mismatch %d vs %d", len(xs), len(ws)))
+	}
+	var inv, wsum float64
+	for i, x := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		if x <= 0 {
+			return 0
+		}
+		inv += w / x
+		wsum += w
+	}
+	if inv == 0 {
+		return 0
+	}
+	return wsum / inv
+}
+
+// GeometricMean returns the geometric mean of xs; non-positive elements
+// yield 0.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the smallest and largest elements of xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Euclidean returns the Euclidean distance between two equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Euclidean length mismatch %d vs %d", len(a), len(b)))
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// Manhattan returns the L1 distance between two equal-length vectors.
+func Manhattan(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Manhattan length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Normalize01 rescales each column of the row-major matrix m (rows of equal
+// length) to [0,1] independently, returning a new matrix. Constant columns
+// map to 0.5, so uninformative dimensions neither attract nor repel.
+func Normalize01(m [][]float64) [][]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	cols := len(m[0])
+	out := make([][]float64, len(m))
+	for i := range out {
+		if len(m[i]) != cols {
+			panic("stats: Normalize01 ragged matrix")
+		}
+		out[i] = make([]float64, cols)
+	}
+	for c := 0; c < cols; c++ {
+		lo, hi := m[0][c], m[0][c]
+		for _, row := range m {
+			if row[c] < lo {
+				lo = row[c]
+			}
+			if row[c] > hi {
+				hi = row[c]
+			}
+		}
+		for i, row := range m {
+			if hi == lo {
+				out[i][c] = 0.5
+			} else {
+				out[i][c] = (row[c] - lo) / (hi - lo)
+			}
+		}
+	}
+	return out
+}
+
+// ZScore standardizes each column of m to zero mean and unit variance,
+// returning a new matrix. Constant columns map to 0.
+func ZScore(m [][]float64) [][]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	cols := len(m[0])
+	out := make([][]float64, len(m))
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	col := make([]float64, len(m))
+	for c := 0; c < cols; c++ {
+		for i, row := range m {
+			col[i] = row[c]
+		}
+		mu := Mean(col)
+		sd := StdDev(col)
+		for i := range m {
+			if sd == 0 {
+				out[i][c] = 0
+			} else {
+				out[i][c] = (m[i][c] - mu) / sd
+			}
+		}
+	}
+	return out
+}
+
+// Combinations calls fn with every size-k subset of {0..n-1}, in
+// lexicographic order. The slice passed to fn is reused between calls; fn
+// must copy it if it retains it. fn returning false stops the enumeration.
+func Combinations(n, k int, fn func(idx []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// Binomial returns C(n,k) as an int, saturating at math.MaxInt64 is not a
+// concern for the small n used by the combination search.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}
+
+// ArgMax returns the index of the largest element of xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element of xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

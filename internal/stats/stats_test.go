@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if got := Mean(xs); !almostEq(got, 7.0/3, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := HarmonicMean(xs); !almostEq(got, 3/(1+0.5+0.25), 1e-12) {
+		t.Errorf("HarmonicMean = %v", got)
+	}
+	if got := GeometricMean(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("GeometricMean = %v", got)
+	}
+}
+
+func TestEmptyMeansAreZero(t *testing.T) {
+	if Mean(nil) != 0 || HarmonicMean(nil) != 0 || GeometricMean(nil) != 0 {
+		t.Error("empty-slice means should be 0")
+	}
+}
+
+func TestHarmonicMeanNonPositive(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 0, 2}); got != 0 {
+		t.Errorf("HarmonicMean with zero element = %v, want 0", got)
+	}
+	if got := HarmonicMean([]float64{1, -1, 2}); got != 0 {
+		t.Errorf("HarmonicMean with negative element = %v, want 0", got)
+	}
+}
+
+func TestWeightedHarmonicReducesToUnweighted(t *testing.T) {
+	xs := []float64{2, 3, 4, 5}
+	w := []float64{1, 1, 1, 1}
+	if a, b := WeightedHarmonicMean(xs, w), HarmonicMean(xs); !almostEq(a, b, 1e-12) {
+		t.Errorf("weighted %v != unweighted %v", a, b)
+	}
+}
+
+func TestWeightedHarmonicEmphasis(t *testing.T) {
+	xs := []float64{1, 10}
+	heavySlow := WeightedHarmonicMean(xs, []float64{10, 1})
+	heavyFast := WeightedHarmonicMean(xs, []float64{1, 10})
+	if heavySlow >= heavyFast {
+		t.Errorf("weighting slow workload should drop the mean: %v vs %v", heavySlow, heavyFast)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if !almostEq(got, 1.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 1.5", got)
+	}
+	if WeightedMean([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero total weight should give 0")
+	}
+}
+
+func TestMeanInequalityProperty(t *testing.T) {
+	// HM <= GM <= AM for positive values.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*10
+		}
+		h, g, a := HarmonicMean(xs), GeometricMean(xs), Mean(xs)
+		return h <= g+1e-9 && g <= a+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev constant = %v", got)
+	}
+	if got := StdDev([]float64{1, 3}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("StdDev{1,3} = %v, want 1", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Euclidean(a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Euclidean = %v", got)
+	}
+	if got := Manhattan(a, b); !almostEq(got, 7, 1e-12) {
+		t.Errorf("Manhattan = %v", got)
+	}
+}
+
+func TestEuclideanSymmetricAndTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		v := func() []float64 {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			return x
+		}
+		a, b, c := v(), v(), v()
+		if !almostEq(Euclidean(a, b), Euclidean(b, a), 1e-9) {
+			return false
+		}
+		return Euclidean(a, c) <= Euclidean(a, b)+Euclidean(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize01(t *testing.T) {
+	m := [][]float64{{0, 5}, {10, 5}, {5, 5}}
+	n := Normalize01(m)
+	want := [][]float64{{0, 0.5}, {1, 0.5}, {0.5, 0.5}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEq(n[i][j], want[i][j], 1e-12) {
+				t.Errorf("Normalize01[%d][%d] = %v, want %v", i, j, n[i][j], want[i][j])
+			}
+		}
+	}
+	// Input must be untouched.
+	if m[0][0] != 0 || m[1][0] != 10 {
+		t.Error("Normalize01 mutated its input")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	m := [][]float64{{1, 7}, {3, 7}}
+	z := ZScore(m)
+	if !almostEq(z[0][0], -1, 1e-12) || !almostEq(z[1][0], 1, 1e-12) {
+		t.Errorf("ZScore col0 = %v,%v", z[0][0], z[1][0])
+	}
+	if z[0][1] != 0 || z[1][1] != 0 {
+		t.Errorf("constant column should z-score to 0: %v,%v", z[0][1], z[1][1])
+	}
+}
+
+func TestCombinationsEnumerates(t *testing.T) {
+	var got [][]int
+	Combinations(4, 2, func(idx []int) bool {
+		got = append(got, append([]int(nil), idx...))
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("combination %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	Combinations(10, 3, func([]int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d calls, want 5", count)
+	}
+}
+
+func TestCombinationsDegenerate(t *testing.T) {
+	calls := 0
+	Combinations(3, 0, func(idx []int) bool {
+		calls++
+		return len(idx) == 0
+	})
+	if calls != 1 {
+		t.Errorf("k=0 should yield exactly the empty set, got %d calls", calls)
+	}
+	Combinations(2, 3, func([]int) bool {
+		t.Error("k>n should yield nothing")
+		return false
+	})
+}
+
+func TestCombinationCountMatchesBinomial(t *testing.T) {
+	for n := 0; n <= 11; n++ {
+		for k := 0; k <= n; k++ {
+			count := 0
+			Combinations(n, k, func([]int) bool { count++; return true })
+			if want := Binomial(n, k); count != want {
+				t.Errorf("C(%d,%d): enumerated %d, Binomial %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{3, 9, 9, 1}
+	if got := ArgMax(xs); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(xs); got != 3 {
+		t.Errorf("ArgMin = %d, want 3", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("P50 = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/explore"
+	"xpscalar/internal/paperdata"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+)
+
+func TestOutcomesRoundTrip(t *testing.T) {
+	tp := tech.Default()
+	outs := []explore.Outcome{
+		{Workload: "gzip", Best: sim.InitialConfig(tp), BestIPT: 1.5, BestScore: 1.5, Evaluations: 42},
+	}
+	var buf bytes.Buffer
+	if err := WriteOutcomes(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOutcomes(&buf, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d outcomes", len(got))
+	}
+	g := got[0]
+	if g.Workload != "gzip" || g.BestIPT != 1.5 || g.Evaluations != 42 {
+		t.Errorf("metadata lost: %+v", g)
+	}
+	if g.Best.String() != outs[0].Best.String() {
+		t.Errorf("config changed:\n%v\n%v", g.Best, outs[0].Best)
+	}
+}
+
+func TestOutcomesFileRoundTrip(t *testing.T) {
+	tp := tech.Default()
+	path := filepath.Join(t.TempDir(), "outs.json")
+	outs := []explore.Outcome{
+		{Workload: "mcf", Best: sim.InitialConfig(tp), BestIPT: 0.5, BestScore: 0.5},
+	}
+	if err := SaveOutcomes(path, outs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOutcomes(path, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Workload != "mcf" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestReadOutcomesRejectsBadData(t *testing.T) {
+	tp := tech.Default()
+	if _, err := ReadOutcomes(strings.NewReader("not json"), tp); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadOutcomes(strings.NewReader(`{"format":"wrong","outcomes":[]}`), tp); err == nil {
+		t.Error("accepted wrong format tag")
+	}
+	// A structurally valid file whose configuration violates the fit
+	// discipline must be rejected at load time.
+	bad := `{"format":"xpscalar-outcomes-v1","outcomes":[{"workload":"x","config":{
+		"clock_ns":0.33,"width":3,"front_end_stages":6,"rob":128,"iq":256,"lsq":64,
+		"sched_depth":1,"lsq_depth":2,"wakeup_min_lat":1,
+		"l1d_sets":512,"l1d_assoc":2,"l1d_block":32,"l1d_lat":4,
+		"l2_sets":2048,"l2_assoc":4,"l2_block":128,"l2_lat":12,"mem_cycles":172},
+		"ipt":1,"score":1,"evaluations":1}]}`
+	if _, err := ReadOutcomes(strings.NewReader(bad), tp); err == nil {
+		t.Error("accepted a config violating the fit discipline (IQ 256 > ROB)")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m, err := core.NewMatrix(paperdata.Benchmarks, paperdata.Table5IPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != m.N() {
+		t.Fatalf("size changed: %d", got.N())
+	}
+	for i := range m.IPT {
+		for j := range m.IPT[i] {
+			if got.IPT[i][j] != m.IPT[i][j] {
+				t.Fatalf("cell [%d][%d] changed", i, j)
+			}
+		}
+	}
+}
+
+func TestReadMatrixRejectsBadData(t *testing.T) {
+	if _, err := ReadMatrix(strings.NewReader("{}")); err == nil {
+		t.Error("accepted empty object")
+	}
+	if _, err := ReadMatrix(strings.NewReader(`{"format":"xpscalar-matrix-v1","names":["a"],"ipt":[[0]]}`)); err == nil {
+		t.Error("accepted non-positive IPT")
+	}
+}

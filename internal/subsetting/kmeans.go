@@ -1,0 +1,192 @@
+// K-means clustering over configuration vectors: the Lee & Brooks-style
+// approach the paper discusses in §2.2 — identify centroids among the
+// customized architectures and assign each benchmark the compromise
+// architecture closest to its own. The paper's criticism is that the
+// outcome is highly dependent on how the architectural parameters are
+// normalized and weighed; Normalization is therefore a parameter here, and
+// the sensitivity is demonstrated in tests and benches.
+
+package subsetting
+
+import (
+	"fmt"
+	"math"
+
+	"xpscalar/internal/stats"
+)
+
+// Normalization selects how feature columns are scaled before clustering.
+type Normalization int
+
+const (
+	// NormNone clusters raw values (dominant-magnitude columns win).
+	NormNone Normalization = iota
+	// NormMinMax rescales every column to [0,1].
+	NormMinMax
+	// NormZScore standardizes every column to zero mean, unit variance.
+	NormZScore
+)
+
+func (n Normalization) String() string {
+	switch n {
+	case NormNone:
+		return "none"
+	case NormMinMax:
+		return "minmax"
+	case NormZScore:
+		return "zscore"
+	default:
+		return fmt.Sprintf("Normalization(%d)", int(n))
+	}
+}
+
+// Normalize applies the normalization to a row-major feature matrix,
+// returning a new matrix.
+func Normalize(features [][]float64, norm Normalization) [][]float64 {
+	switch norm {
+	case NormNone:
+		out := make([][]float64, len(features))
+		for i, row := range features {
+			out[i] = append([]float64(nil), row...)
+		}
+		return out
+	case NormMinMax:
+		return stats.Normalize01(features)
+	case NormZScore:
+		return stats.ZScore(features)
+	default:
+		panic(fmt.Sprintf("subsetting: unknown normalization %v", norm))
+	}
+}
+
+// KMeansResult is the outcome of a clustering run.
+type KMeansResult struct {
+	// Assign maps each row to its cluster.
+	Assign []int
+	// Centroids are the final cluster centres in normalized space.
+	Centroids [][]float64
+	// Medoids are, per cluster, the row closest to the centroid — the
+	// benchmark whose customized architecture serves as the cluster's
+	// compromise architecture.
+	Medoids []int
+	// Iterations until convergence.
+	Iterations int
+}
+
+// KMeans clusters the rows of features into k clusters under the given
+// normalization. Deterministic: initial centroids are chosen by the
+// farthest-point heuristic starting from row 0.
+func KMeans(features [][]float64, k int, norm Normalization) (*KMeansResult, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, fmt.Errorf("subsetting: empty feature matrix")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("subsetting: k = %d outside [1,%d]", k, n)
+	}
+	fs := Normalize(features, norm)
+	dims := len(fs[0])
+	for i, row := range fs {
+		if len(row) != dims {
+			return nil, fmt.Errorf("subsetting: ragged feature row %d", i)
+		}
+	}
+
+	// Farthest-point initialization.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), fs[0]...))
+	for len(centroids) < k {
+		far, farD := 0, -1.0
+		for i, row := range fs {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := stats.Euclidean(row, c); dd < d {
+					d = dd
+				}
+			}
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), fs[far]...))
+	}
+
+	assign := make([]int, n)
+	res := &KMeansResult{}
+	for iter := 1; iter <= 200; iter++ {
+		changed := false
+		for i, row := range fs {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := stats.Euclidean(row, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		for ci := range centroids {
+			count := 0
+			sum := make([]float64, dims)
+			for i, a := range assign {
+				if a != ci {
+					continue
+				}
+				count++
+				for d, v := range fs[i] {
+					sum[d] += v
+				}
+			}
+			if count == 0 {
+				continue // keep the old centroid for an empty cluster
+			}
+			for d := range sum {
+				sum[d] /= float64(count)
+			}
+			centroids[ci] = sum
+		}
+		res.Iterations = iter
+		if !changed && iter > 1 {
+			break
+		}
+	}
+
+	// Medoids: the row nearest each centroid.
+	medoids := make([]int, k)
+	for ci, c := range centroids {
+		best, bestD := -1, math.Inf(1)
+		for i, row := range fs {
+			if assign[i] != ci {
+				continue
+			}
+			if d := stats.Euclidean(row, c); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		medoids[ci] = best
+	}
+
+	res.Assign = assign
+	res.Centroids = centroids
+	res.Medoids = medoids
+	return res, nil
+}
+
+// ClusterSets converts an assignment vector into per-cluster member lists,
+// dropping empty clusters.
+func ClusterSets(assign []int, k int) [][]int {
+	sets := make([][]int, k)
+	for i, a := range assign {
+		sets[a] = append(sets[a], i)
+	}
+	out := sets[:0]
+	for _, s := range sets {
+		if len(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

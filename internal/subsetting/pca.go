@@ -1,0 +1,195 @@
+// Principal component analysis over workload or configuration features —
+// the dimensionality-reduction step conventional subsetting studies (the
+// paper's references [8], [30]) apply before clustering. Implemented with
+// power iteration and deflation on the covariance matrix; no dependencies.
+
+package subsetting
+
+import (
+	"fmt"
+	"math"
+)
+
+// PCAResult holds the leading principal components of a feature matrix.
+type PCAResult struct {
+	// Components are unit-length direction vectors, strongest first.
+	Components [][]float64
+	// Variances are the eigenvalues (variance explained per component).
+	Variances []float64
+	// TotalVariance is the trace of the covariance matrix.
+	TotalVariance float64
+	mean          []float64
+}
+
+// PCA extracts the k leading principal components of the row-major feature
+// matrix. Features are centred but not rescaled; standardize beforehand
+// (stats.ZScore) when column units differ — exactly the normalization
+// sensitivity the paper's §2.2 criticism turns on.
+func PCA(features [][]float64, k int) (*PCAResult, error) {
+	n := len(features)
+	if n < 2 {
+		return nil, fmt.Errorf("subsetting: PCA needs >= 2 rows, got %d", n)
+	}
+	dims := len(features[0])
+	if k < 1 || k > dims {
+		return nil, fmt.Errorf("subsetting: PCA k = %d outside [1,%d]", k, dims)
+	}
+	for i, row := range features {
+		if len(row) != dims {
+			return nil, fmt.Errorf("subsetting: ragged feature row %d", i)
+		}
+	}
+
+	// Centre.
+	mean := make([]float64, dims)
+	for _, row := range features {
+		for d, v := range row {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+	centred := make([][]float64, n)
+	for i, row := range features {
+		centred[i] = make([]float64, dims)
+		for d, v := range row {
+			centred[i][d] = v - mean[d]
+		}
+	}
+
+	// Covariance matrix.
+	cov := make([][]float64, dims)
+	for a := 0; a < dims; a++ {
+		cov[a] = make([]float64, dims)
+		for b := a; b < dims; b++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += centred[i][a] * centred[i][b]
+			}
+			cov[a][b] = sum / float64(n-1)
+		}
+	}
+	for a := 0; a < dims; a++ {
+		for b := 0; b < a; b++ {
+			cov[a][b] = cov[b][a]
+		}
+	}
+	res := &PCAResult{mean: mean}
+	for d := 0; d < dims; d++ {
+		res.TotalVariance += cov[d][d]
+	}
+
+	// Power iteration with deflation.
+	work := make([][]float64, dims)
+	for a := range work {
+		work[a] = append([]float64(nil), cov[a]...)
+	}
+	for c := 0; c < k; c++ {
+		vec, val := powerIterate(work)
+		if val <= 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		res.Components = append(res.Components, vec)
+		res.Variances = append(res.Variances, val)
+		// Deflate: work -= val * vec vecᵀ.
+		for a := 0; a < dims; a++ {
+			for b := 0; b < dims; b++ {
+				work[a][b] -= val * vec[a] * vec[b]
+			}
+		}
+	}
+	return res, nil
+}
+
+// powerIterate finds the dominant eigenpair of a symmetric matrix.
+func powerIterate(m [][]float64) ([]float64, float64) {
+	dims := len(m)
+	vec := make([]float64, dims)
+	// Deterministic non-degenerate start.
+	for d := range vec {
+		vec[d] = 1 / math.Sqrt(float64(dims)+float64(d))
+	}
+	normalize(vec)
+	next := make([]float64, dims)
+	val := 0.0
+	for iter := 0; iter < 500; iter++ {
+		for a := 0; a < dims; a++ {
+			sum := 0.0
+			for b := 0; b < dims; b++ {
+				sum += m[a][b] * vec[b]
+			}
+			next[a] = sum
+		}
+		newVal := math.Sqrt(dot(next, next))
+		if newVal == 0 {
+			return vec, 0
+		}
+		for d := range next {
+			next[d] /= newVal
+		}
+		delta := 0.0
+		for d := range vec {
+			delta += math.Abs(next[d] - vec[d])
+		}
+		copy(vec, next)
+		val = newVal
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return append([]float64(nil), vec...), val
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Project maps feature rows onto the principal components, returning one
+// k-dimensional row per input row.
+func (p *PCAResult) Project(features [][]float64) [][]float64 {
+	out := make([][]float64, len(features))
+	for i, row := range features {
+		centred := make([]float64, len(row))
+		for d, v := range row {
+			centred[d] = v - p.mean[d]
+		}
+		proj := make([]float64, len(p.Components))
+		for c, comp := range p.Components {
+			proj[c] = dot(centred, comp)
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// extracted components.
+func (p *PCAResult) ExplainedVariance() float64 {
+	if p.TotalVariance == 0 {
+		return 0
+	}
+	return sum(p.Variances) / p.TotalVariance
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package subsetting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along the (1,1)/√2 direction with small orthogonal noise:
+	// the first component must align with it.
+	rng := rand.New(rand.NewSource(4))
+	features := make([][]float64, 200)
+	for i := range features {
+		s := rng.NormFloat64() * 5
+		n := rng.NormFloat64() * 0.1
+		features[i] = []float64{s + n, s - n}
+	}
+	res, err := PCA(features, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("got %d components", len(res.Components))
+	}
+	c0 := res.Components[0]
+	align := math.Abs(c0[0]*1/math.Sqrt2 + c0[1]*1/math.Sqrt2)
+	if align < 0.99 {
+		t.Errorf("first component %v misaligned with (1,1)/√2 (|cos| = %.3f)", c0, align)
+	}
+	if res.Variances[0] <= res.Variances[1] {
+		t.Errorf("variances not ordered: %v", res.Variances)
+	}
+	if ev := res.ExplainedVariance(); ev < 0.99 {
+		t.Errorf("2 components of 2 dims explain %.3f, want ~1", ev)
+	}
+}
+
+func TestPCAProjectPreservesSeparation(t *testing.T) {
+	// Two clusters far apart along one axis stay separated after
+	// projecting onto the first component.
+	features := [][]float64{
+		{0, 1, 0.2}, {0.1, 1.1, 0.1}, {0.2, 0.9, 0.15},
+		{10, 1, 0.1}, {10.1, 0.9, 0.2}, {9.9, 1.05, 0.12},
+	}
+	res, err := PCA(features, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := res.Project(features)
+	// All of cluster A on one side of cluster B.
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			if math.Abs(proj[i][0]-proj[j][0]) < 4 {
+				t.Errorf("projection lost cluster separation: %v vs %v", proj[i], proj[j])
+			}
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA(nil, 1); err == nil {
+		t.Error("accepted empty matrix")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {3, 4}}, 3); err == nil {
+		t.Error("accepted k > dims")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("accepted ragged rows")
+	}
+}
+
+func TestPCAConstantDataHasNoComponents(t *testing.T) {
+	features := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := PCA(features, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 0 {
+		t.Errorf("constant data produced %d components", len(res.Components))
+	}
+}
+
+// TestQuickPCAInvariants: components are unit length and mutually
+// orthogonal; variances are non-negative and ordered.
+func TestQuickPCAInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		dims := 2 + rng.Intn(4)
+		features := make([][]float64, n)
+		for i := range features {
+			features[i] = make([]float64, dims)
+			for d := range features[i] {
+				features[i][d] = rng.NormFloat64() * float64(1+d)
+			}
+		}
+		res, err := PCA(features, dims)
+		if err != nil {
+			return false
+		}
+		for i, c := range res.Components {
+			if math.Abs(dot(c, c)-1) > 1e-6 {
+				return false
+			}
+			for j := i + 1; j < len(res.Components); j++ {
+				if math.Abs(dot(c, res.Components[j])) > 1e-4 {
+					return false
+				}
+			}
+			if res.Variances[i] < 0 {
+				return false
+			}
+			if i > 0 && res.Variances[i] > res.Variances[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	features := make([][]float64, 100)
+	for i := range features {
+		features[i] = make([]float64, 7)
+		for d := range features[i] {
+			features[i][d] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PCA(features, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

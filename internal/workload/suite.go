@@ -1,0 +1,216 @@
+// Suite definitions: synthetic stand-ins for the C integer SPEC2000
+// benchmarks the paper evaluates, plus the three illustrative workloads of
+// Figure 1.
+
+package workload
+
+// SuiteNames lists the paper's eleven benchmarks in its table order.
+func SuiteNames() []string {
+	return []string{
+		"bzip", "crafty", "gap", "gcc", "gzip", "mcf",
+		"parser", "perl", "twolf", "vortex", "vpr",
+	}
+}
+
+// Suite returns the eleven synthetic profiles, in SuiteNames order. Each is
+// calibrated to the qualitative regime the paper reports for its namesake;
+// see DESIGN.md for the substitution argument.
+func Suite() []Profile {
+	return []Profile{
+		{
+			// bzip2: block-sorting compressor. Large data footprint
+			// with strong reuse, abundant memory-level parallelism,
+			// moderate branch predictability. The paper customizes
+			// it to a wide, slow-clocked, big-window core.
+			Name:     "bzip",
+			LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.12, MulFrac: 0.01,
+			WorkingSetBytes: 2 << 20, HotSetBytes: 192 << 10,
+			HotFrac: 0.90, SeqFrac: 0.30, StrideBytes: 8,
+			BranchSites: 96, LoopFrac: 0.55, LoopTrip: 24,
+			TakenBias: 0.85, RandomEntropy: 0.22,
+			DepDensity: 0.62, DepDistMean: 5,
+			Seed: 101,
+		},
+		{
+			// crafty: chess search. Tiny data footprint, branch
+			// dense but highly predictable, sparse dependences —
+			// thrives on a deep, fast-clocked pipeline.
+			Name:     "crafty",
+			LoadFrac: 0.28, StoreFrac: 0.07, BranchFrac: 0.13, MulFrac: 0.01,
+			WorkingSetBytes: 192 << 10, HotSetBytes: 48 << 10,
+			HotFrac: 0.96, SeqFrac: 0.10, StrideBytes: 8,
+			BranchSites: 192, LoopFrac: 0.7, LoopTrip: 12,
+			TakenBias: 0.93, RandomEntropy: 0.04,
+			DepDensity: 0.50, DepDistMean: 9,
+			Seed: 102,
+		},
+		{
+			// gap: group-theory interpreter. Moderate footprint,
+			// predictable dispatch loops, middling ILP.
+			Name:     "gap",
+			LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.11, MulFrac: 0.02,
+			WorkingSetBytes: 768 << 10, HotSetBytes: 96 << 10,
+			HotFrac: 0.94, SeqFrac: 0.20, StrideBytes: 8,
+			BranchSites: 160, LoopFrac: 0.6, LoopTrip: 16,
+			TakenBias: 0.9, RandomEntropy: 0.08,
+			DepDensity: 0.58, DepDistMean: 6,
+			Seed: 103,
+		},
+		{
+			// gcc: compiler. Huge static code and data footprint,
+			// branchy with moderate predictability; its customized
+			// core is the paper's best all-round single core.
+			Name:     "gcc",
+			LoadFrac: 0.25, StoreFrac: 0.13, BranchFrac: 0.15, MulFrac: 0.01,
+			WorkingSetBytes: 1536 << 10, HotSetBytes: 224 << 10,
+			HotFrac: 0.90, SeqFrac: 0.15, StrideBytes: 8,
+			BranchSites: 448, LoopFrac: 0.55, LoopTrip: 10,
+			TakenBias: 0.88, RandomEntropy: 0.12,
+			DepDensity: 0.60, DepDistMean: 5,
+			Seed: 104,
+		},
+		{
+			// gzip: LZ77 compressor. Streaming spatial locality over
+			// a small hot dictionary; similar *raw* mix to bzip —
+			// the pair the paper uses to expose the subsetting
+			// pitfall — but far smaller footprint and denser
+			// dependence chains, so it wants a fast narrow core.
+			Name:     "gzip",
+			LoadFrac: 0.25, StoreFrac: 0.09, BranchFrac: 0.13, MulFrac: 0.01,
+			WorkingSetBytes: 256 << 10, HotSetBytes: 64 << 10,
+			HotFrac: 0.94, SeqFrac: 0.45, StrideBytes: 16,
+			BranchSites: 80, LoopFrac: 0.6, LoopTrip: 18,
+			TakenBias: 0.88, RandomEntropy: 0.14,
+			DepDensity: 0.72, DepDistMean: 3,
+			Seed: 105,
+		},
+		{
+			// mcf: network-simplex. Pointer chasing over a footprint
+			// no cache holds; narrow, huge-window, memory-bound.
+			Name:     "mcf",
+			LoadFrac: 0.34, StoreFrac: 0.09, BranchFrac: 0.10, MulFrac: 0.01,
+			WorkingSetBytes: 24 << 20, HotSetBytes: 2 << 20,
+			HotFrac: 0.60, SeqFrac: 0.05, StrideBytes: 8,
+			PtrChaseFrac: 0.35,
+			BranchSites:  64, LoopFrac: 0.5, LoopTrip: 30,
+			TakenBias: 0.9, RandomEntropy: 0.1,
+			DepDensity: 0.55, DepDistMean: 7,
+			Seed: 106,
+		},
+		{
+			// parser: dictionary-driven NL parser. Modest footprint,
+			// moderately predictable, fairly dense chains — lands
+			// near gzip configurationally.
+			Name:     "parser",
+			LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.14, MulFrac: 0.01,
+			WorkingSetBytes: 384 << 10, HotSetBytes: 80 << 10,
+			HotFrac: 0.92, SeqFrac: 0.25, StrideBytes: 8,
+			BranchSites: 224, LoopFrac: 0.55, LoopTrip: 9,
+			TakenBias: 0.87, RandomEntropy: 0.15,
+			DepDensity: 0.68, DepDistMean: 4,
+			Seed: 107,
+		},
+		{
+			// perlbmk: interpreter. Very branchy, predictable
+			// dispatch, small hot footprint; tolerates depth, like
+			// crafty.
+			Name:     "perl",
+			LoadFrac: 0.27, StoreFrac: 0.12, BranchFrac: 0.16, MulFrac: 0.01,
+			WorkingSetBytes: 320 << 10, HotSetBytes: 56 << 10,
+			HotFrac: 0.95, SeqFrac: 0.12, StrideBytes: 8,
+			BranchSites: 256, LoopFrac: 0.68, LoopTrip: 11,
+			TakenBias: 0.92, RandomEntropy: 0.05,
+			DepDensity: 0.62, DepDistMean: 5,
+			Seed: 108,
+		},
+		{
+			// twolf: place-and-route. Mid-size footprint with poor
+			// spatial locality and conflict-prone access; hard
+			// branches. Its core carries several other benchmarks
+			// in the paper's surrogate graphs.
+			Name:     "twolf",
+			LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.13, MulFrac: 0.03,
+			WorkingSetBytes: 1 << 20, HotSetBytes: 320 << 10,
+			HotFrac: 0.82, SeqFrac: 0.05, StrideBytes: 8,
+			BranchSites: 128, LoopFrac: 0.4, LoopTrip: 8,
+			TakenBias: 0.8, RandomEntropy: 0.3,
+			DepDensity: 0.62, DepDistMean: 5,
+			Seed: 109,
+		},
+		{
+			// vortex: object database. Big code, very predictable
+			// control, light memory pressure; wide and fairly deep.
+			Name:     "vortex",
+			LoadFrac: 0.27, StoreFrac: 0.14, BranchFrac: 0.14, MulFrac: 0.01,
+			WorkingSetBytes: 512 << 10, HotSetBytes: 128 << 10,
+			HotFrac: 0.95, SeqFrac: 0.20, StrideBytes: 8,
+			BranchSites: 320, LoopFrac: 0.65, LoopTrip: 14,
+			TakenBias: 0.95, RandomEntropy: 0.03,
+			DepDensity: 0.52, DepDistMean: 8,
+			Seed: 110,
+		},
+		{
+			// vpr: FPGA place-and-route; twolf's configurational
+			// sibling (their cores surrogate each other at ~3-4%
+			// slowdown in Appendix A).
+			Name:     "vpr",
+			LoadFrac: 0.27, StoreFrac: 0.09, BranchFrac: 0.12, MulFrac: 0.03,
+			WorkingSetBytes: 832 << 10, HotSetBytes: 256 << 10,
+			HotFrac: 0.85, SeqFrac: 0.08, StrideBytes: 8,
+			BranchSites: 112, LoopFrac: 0.45, LoopTrip: 9,
+			TakenBias: 0.82, RandomEntropy: 0.28,
+			DepDensity: 0.65, DepDistMean: 4,
+			Seed: 111,
+		},
+	}
+}
+
+// ByName returns the suite profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// IllustrativeProfiles returns the three workloads α, β and γ of the
+// paper's Figure 1: mostly similar characteristics, except that β and γ
+// have much larger working sets than α, and γ has greater branch biasness
+// and less dense dependence chains than α and β.
+func IllustrativeProfiles() []Profile {
+	base := Profile{
+		LoadFrac: 0.30, StoreFrac: 0.10, BranchFrac: 0.12, MulFrac: 0.01,
+		HotFrac: 0.9, SeqFrac: 0.2, StrideBytes: 8,
+		BranchSites: 128, LoopFrac: 0.5, LoopTrip: 12,
+		DepDensity: 0.65, DepDistMean: 4,
+	}
+	alpha := base
+	alpha.Name = "alpha"
+	alpha.WorkingSetBytes = 64 << 10
+	alpha.HotSetBytes = 32 << 10
+	alpha.TakenBias = 0.85
+	alpha.RandomEntropy = 0.25
+	alpha.Seed = 201
+
+	beta := base
+	beta.Name = "beta"
+	beta.WorkingSetBytes = 8 << 20
+	beta.HotSetBytes = 1 << 20
+	beta.TakenBias = 0.85
+	beta.RandomEntropy = 0.25
+	beta.Seed = 202
+
+	gamma := base
+	gamma.Name = "gamma"
+	gamma.WorkingSetBytes = 8 << 20
+	gamma.HotSetBytes = 1 << 20
+	gamma.TakenBias = 0.96
+	gamma.RandomEntropy = 0.03
+	gamma.DepDensity = 0.42
+	gamma.DepDistMean = 10
+	gamma.Seed = 203
+
+	return []Profile{alpha, beta, gamma}
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteIsValidAndOrdered(t *testing.T) {
+	suite := Suite()
+	names := SuiteNames()
+	if len(suite) != 11 || len(names) != 11 {
+		t.Fatalf("suite has %d profiles / %d names, want 11 (paper's C integer benchmarks)", len(suite), len(names))
+	}
+	seen := map[int64]string{}
+	for i, p := range suite {
+		if p.Name != names[i] {
+			t.Errorf("profile %d named %q, want %q", i, p.Name, names[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if prev, dup := seen[p.Seed]; dup {
+			t.Errorf("profiles %s and %s share seed %d", prev, p.Name, p.Seed)
+		}
+		seen[p.Seed] = p.Name
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("mcf")
+	if !ok || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p, ok)
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base, _ := ByName("gzip")
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"no name", func(p *Profile) { p.Name = "" }},
+		{"mix > 1", func(p *Profile) { p.LoadFrac = 0.9; p.BranchFrac = 0.5 }},
+		{"negative frac", func(p *Profile) { p.StoreFrac = -0.1 }},
+		{"zero working set", func(p *Profile) { p.WorkingSetBytes = 0 }},
+		{"hot > working", func(p *Profile) { p.HotSetBytes = p.WorkingSetBytes * 2 }},
+		{"bad stride", func(p *Profile) { p.StrideBytes = 0 }},
+		{"no branch sites", func(p *Profile) { p.BranchSites = 0 }},
+		{"trip 1", func(p *Profile) { p.LoopTrip = 1 }},
+		{"bias > 1", func(p *Profile) { p.TakenBias = 1.5 }},
+		{"dep dist < 1", func(p *Profile) { p.DepDistMean = 0.5 }},
+		{"ptr chase > 1", func(p *Profile) { p.PtrChaseFrac = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted a broken profile")
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("bzip")
+	g1, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b Instr
+	for i := 0; i < 5000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorResetRestartsStream(t *testing.T) {
+	p, _ := ByName("vpr")
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]Instr, 100)
+	for i := range first {
+		g.Next(&first[i])
+	}
+	g.Reset()
+	var ins Instr
+	for i := range first {
+		g.Next(&ins)
+		if ins != first[i] {
+			t.Fatalf("Reset did not restart stream: instr %d differs", i)
+		}
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	for _, p := range Suite() {
+		g, err := NewGenerator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 60000
+		var ins Instr
+		counts := map[Op]int{}
+		for i := 0; i < n; i++ {
+			g.Next(&ins)
+			counts[ins.Op]++
+		}
+		check := func(op Op, want float64) {
+			got := float64(counts[op]) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("%s: %v fraction %.3f, want %.3f±0.02", p.Name, op, got, want)
+			}
+		}
+		check(OpLoad, p.LoadFrac)
+		check(OpStore, p.StoreFrac)
+		check(OpBranch, p.BranchFrac)
+	}
+}
+
+func TestDependenceDistancesPositiveAndBounded(t *testing.T) {
+	p, _ := ByName("gcc")
+	g, _ := NewGenerator(p)
+	var ins Instr
+	for i := 0; i < 20000; i++ {
+		g.Next(&ins)
+		if ins.Src1Dist < 0 || ins.Src2Dist < 0 {
+			t.Fatalf("negative dependence distance at %d: %+v", i, ins)
+		}
+		if ins.Src1Dist > 1<<20 || ins.Src2Dist > 1<<20 {
+			t.Fatalf("unbounded dependence distance at %d: %+v", i, ins)
+		}
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	for _, p := range Suite() {
+		g, _ := NewGenerator(p)
+		var ins Instr
+		for i := 0; i < 30000; i++ {
+			g.Next(&ins)
+			if ins.Op != OpLoad && ins.Op != OpStore {
+				continue
+			}
+			if ins.Addr == 0 {
+				t.Fatalf("%s: zero address at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestPointerChaseCreatesLoadLoadDependence(t *testing.T) {
+	p, _ := ByName("mcf")
+	g, _ := NewGenerator(p)
+	var ins Instr
+	var lastLoadIdx int
+	chained := 0
+	loads := 0
+	for i := 1; i <= 50000; i++ {
+		g.Next(&ins)
+		if ins.Op != OpLoad {
+			continue
+		}
+		loads++
+		if lastLoadIdx > 0 && int(ins.Src1Dist) == i-lastLoadIdx {
+			chained++
+		}
+		lastLoadIdx = i
+	}
+	frac := float64(chained) / float64(loads)
+	if frac < p.PtrChaseFrac*0.6 {
+		t.Errorf("mcf load->load chains %.3f of loads, want near %.2f", frac, p.PtrChaseFrac)
+	}
+}
+
+func TestLoopBranchesRepeatAtSite(t *testing.T) {
+	// A loop site must appear on consecutive dynamic branches while the
+	// loop runs — that repetition is what history predictors learn.
+	p, _ := ByName("crafty")
+	g, _ := NewGenerator(p)
+	var ins Instr
+	var prevPC uint64
+	repeats, branches := 0, 0
+	for i := 0; i < 50000; i++ {
+		g.Next(&ins)
+		if ins.Op != OpBranch {
+			continue
+		}
+		branches++
+		if ins.PC == prevPC {
+			repeats++
+		}
+		prevPC = ins.PC
+	}
+	if frac := float64(repeats) / float64(branches); frac < 0.3 {
+		t.Errorf("consecutive same-site branches %.3f, want >= 0.3 for a loopy workload", frac)
+	}
+}
+
+func TestIllustrativeProfilesMatchFigure1(t *testing.T) {
+	ps := IllustrativeProfiles()
+	if len(ps) != 3 {
+		t.Fatalf("got %d illustrative profiles, want 3", len(ps))
+	}
+	alpha, beta, gamma := ps[0], ps[1], ps[2]
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+	// β and γ have much larger working sets than α.
+	if beta.WorkingSetBytes < 10*alpha.WorkingSetBytes || gamma.WorkingSetBytes < 10*alpha.WorkingSetBytes {
+		t.Error("β and γ must have much larger working sets than α")
+	}
+	// γ has greater branch biasness and less dense chains than α and β.
+	if gamma.TakenBias <= alpha.TakenBias || gamma.TakenBias <= beta.TakenBias {
+		t.Error("γ must have greater branch biasness")
+	}
+	if gamma.DepDensity >= alpha.DepDensity || gamma.DepDistMean <= alpha.DepDistMean {
+		t.Error("γ must have less dense dependence chains")
+	}
+}
+
+func TestGeometricMeanRoughlyMatches(t *testing.T) {
+	r := newRNG(42)
+	const mean = 8.0
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.geometric(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 1 {
+		t.Errorf("geometric sample mean %.2f, want %.1f±1", got, mean)
+	}
+}
+
+func TestQuickRNGRangeInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := newRNG(seed)
+		n := int(nRaw%100) + 1
+		for i := 0; i < 50; i++ {
+			if v := r.intn(n); v < 0 || v >= n {
+				return false
+			}
+			if f := r.float(); f < 0 || f >= 1 {
+				return false
+			}
+			if g := r.geometric(5); g < 1 || g > 4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, _ := ByName("gcc")
+	g, err := NewGenerator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+	}
+}

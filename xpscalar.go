@@ -1,0 +1,273 @@
+// Package xpscalar is a Go reproduction of "Configurational Workload
+// Characterization" (Najaf-abadi & Rotenberg, ISPASS 2008): a superscalar
+// design-space exploration framework that characterizes workloads by the
+// best processor configuration for each of them, and analysis tools for
+// choosing the cores of a heterogeneous chip multiprocessor from those
+// configurational characteristics.
+//
+// The package is a facade over the implementation packages; it exposes the
+// workflow end to end:
+//
+//  1. Describe workloads (Profile; Suite provides eleven synthetic stand-ins
+//     for the paper's SPEC2000 integer benchmarks).
+//  2. Evaluate a workload on a configuration with Run, or search for its
+//     customized configuration with Explore / ExploreSuite (simulated
+//     annealing over a cycle-level out-of-order core model, with every
+//     structure sized to fit its clock budget through a CACTI-style array
+//     timing model).
+//  3. Build the cross-configuration performance matrix with CrossMatrix (or
+//     load the paper's published Table 5 with PaperMatrix).
+//  4. Analyze: BestCombination (exhaustive core-combination search under
+//     avg / harmonic / contention-weighted harmonic IPT), GreedySurrogates
+//     (surrogate-graph reduction under three propagation policies), the
+//     subsetting baseline (Characterize + clustering in the subsetting
+//     package), and multiprogrammed contention simulation (multithread
+//     package re-exports).
+package xpscalar
+
+import (
+	"io"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/explore"
+	"xpscalar/internal/multithread"
+	"xpscalar/internal/paperdata"
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/subsetting"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// Core model and workload types.
+type (
+	// Profile parameterizes one synthetic workload.
+	Profile = workload.Profile
+	// Characteristics are raw microarchitecture-independent metrics.
+	Characteristics = workload.Characteristics
+	// Config is one architectural configuration (a Table 4 column).
+	Config = sim.Config
+	// CacheGeom is a cache geometry (sets × ways × block).
+	CacheGeom = timing.CacheGeom
+	// Result reports one simulation.
+	Result = sim.Result
+	// TechParams is the technology parameter set (Table 2).
+	TechParams = tech.Params
+)
+
+// Exploration types.
+type (
+	// ExploreOptions controls the simulated-annealing search.
+	ExploreOptions = explore.Options
+	// Outcome is one workload's exploration result: its configurational
+	// characteristics.
+	Outcome = explore.Outcome
+)
+
+// Analysis types.
+type (
+	// Matrix is a cross-configuration performance matrix (Table 5).
+	Matrix = core.Matrix
+	// Metric is a figure of merit over a core selection.
+	Metric = core.Metric
+	// Combination is the result of a best-core-combination search.
+	Combination = core.Combination
+	// Policy selects surrogate propagation rules.
+	Policy = core.Policy
+	// SurrogateGraph is a greedy surrogate assignment (Figures 6–8).
+	SurrogateGraph = core.SurrogateGraph
+)
+
+// Figures of merit (paper §5.2).
+const (
+	MetricAvg   = core.MetricAvg
+	MetricHar   = core.MetricHar
+	MetricCWHar = core.MetricCWHar
+)
+
+// Surrogate propagation policies (paper §5.4).
+const (
+	PolicyNoPropagation      = core.PolicyNoPropagation
+	PolicyForwardPropagation = core.PolicyForwardPropagation
+	PolicyFullPropagation    = core.PolicyFullPropagation
+)
+
+// Multiprogrammed-simulation types (paper §5.5).
+type (
+	// MTSystem is a heterogeneous CMP serving a job stream.
+	MTSystem = multithread.System
+	// MTArrivals parameterizes the job stream.
+	MTArrivals = multithread.Arrivals
+	// MTMetrics summarizes a contention simulation.
+	MTMetrics = multithread.Metrics
+	// Partition is a balanced workload grouping (BPMST).
+	Partition = multithread.Partition
+)
+
+// Dispatch policies for multiprogrammed simulation.
+const (
+	StallForDesignated = multithread.StallForDesignated
+	NextBestAvailable  = multithread.NextBestAvailable
+)
+
+// DefaultTech returns the paper's Table 2 technology parameters.
+func DefaultTech() TechParams { return tech.Default() }
+
+// Suite returns the eleven synthetic stand-ins for the paper's C integer
+// SPEC2000 benchmarks.
+func Suite() []Profile { return workload.Suite() }
+
+// SuiteNames lists the suite's workload names in table order.
+func SuiteNames() []string { return workload.SuiteNames() }
+
+// WorkloadByName returns the named suite profile.
+func WorkloadByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// IllustrativeProfiles returns the Figure 1 workloads α, β and γ.
+func IllustrativeProfiles() []Profile { return workload.IllustrativeProfiles() }
+
+// Characterize extracts the raw, microarchitecture-independent
+// characteristics of the first n instructions of a workload (Figure 1's
+// axes).
+func Characterize(p Profile, n int) (Characteristics, error) { return workload.Extract(p, n) }
+
+// Instruction sources: the seam between workload models and the simulator.
+type (
+	// Source supplies a dynamic instruction stream (synthetic generator
+	// or trace replay); bring real program traces through TraceReader.
+	Source = workload.Source
+	// TraceReader replays a captured binary trace.
+	TraceReader = workload.TraceReader
+)
+
+// NewGenerator builds the synthetic instruction source of a profile.
+func NewGenerator(p Profile) (*workload.Generator, error) { return workload.NewGenerator(p) }
+
+// WriteTrace captures n instructions from a source in the binary trace
+// format; ReadTrace loads one back.
+func WriteTrace(w io.Writer, src Source, n int) error { return workload.WriteTrace(w, src, n) }
+
+// ReadTrace loads a captured trace for replay.
+func ReadTrace(r io.Reader) (*TraceReader, error) { return workload.ReadTrace(r) }
+
+// RunSource evaluates n instructions from an arbitrary source on a
+// configuration — the entry point for user-supplied traces.
+func RunSource(c Config, src Source, name string, n int, t TechParams) (Result, error) {
+	return sim.RunSource(c, src, name, n, t)
+}
+
+// InitialConfig returns the paper's Table 3 starting configuration.
+func InitialConfig(t TechParams) Config { return sim.InitialConfig(t) }
+
+// Run evaluates n instructions of a workload on a configuration.
+func Run(c Config, p Profile, n int, t TechParams) (Result, error) { return sim.Run(c, p, n, t) }
+
+// DefaultExploreOptions returns a modest exploration budget seeded
+// deterministically.
+func DefaultExploreOptions(seed int64) ExploreOptions { return explore.DefaultOptions(seed) }
+
+// Explore searches for the customized configuration of one workload.
+func Explore(p Profile, opt ExploreOptions) (Outcome, error) { return explore.Workload(p, opt) }
+
+// ExploreSuite explores every profile in parallel and applies the paper's
+// cross-seeding rule.
+func ExploreSuite(profiles []Profile, opt ExploreOptions) ([]Outcome, error) {
+	return explore.Suite(profiles, opt)
+}
+
+// NewMatrix wraps a cross-configuration IPT matrix.
+func NewMatrix(names []string, ipt [][]float64) (*Matrix, error) { return core.NewMatrix(names, ipt) }
+
+// CrossMatrix simulates every workload on every configuration and returns
+// the cross-configuration matrix (the step from Table 4 to Table 5).
+func CrossMatrix(profiles []Profile, configs []Config, n int, t TechParams) (*Matrix, error) {
+	return core.BuildMatrix(profiles, configs, n, t)
+}
+
+// PaperMatrix returns the paper's published Table 5.
+func PaperMatrix() (*Matrix, error) {
+	return core.NewMatrix(paperdata.Benchmarks, paperdata.Table5IPT)
+}
+
+// GreedySurrogates reduces the matrix to a surrogating-graph under the
+// policy (paper §5.4, Figures 6–8).
+func GreedySurrogates(m *Matrix, policy Policy, weights []float64) (*SurrogateGraph, error) {
+	return core.GreedySurrogates(m, policy, weights)
+}
+
+// MTSystemFromSelection builds a CMP with one core per selected
+// architecture, each workload designated to its best selected core.
+func MTSystemFromSelection(m *Matrix, sel []int) (MTSystem, error) {
+	return multithread.SystemFromSelection(m, sel)
+}
+
+// MTSimulate runs a job stream against a heterogeneous CMP.
+func MTSimulate(sys MTSystem, arr MTArrivals, policy multithread.Policy) (MTMetrics, error) {
+	return multithread.Simulate(sys, arr, policy)
+}
+
+// BPMST partitions workloads into k balanced groups over the
+// minimum-spanning-tree of surrogate costs (paper §5.5).
+func BPMST(m *Matrix, k int, weights []float64) (*Partition, error) {
+	return multithread.BPMST(m, k, weights)
+}
+
+// MTSystemFromPartition builds a CMP from a balanced partition.
+func MTSystemFromPartition(m *Matrix, p *Partition) (MTSystem, error) {
+	return multithread.SystemFromPartition(m, p)
+}
+
+// KiviatSet normalizes characteristics to the paper's 0–10 Kiviat axes.
+func KiviatSet(cs []Characteristics) ([]subsetting.Kiviat, error) { return subsetting.KiviatSet(cs) }
+
+// Power/area extension (paper §3's proposed combined objective).
+type (
+	// PowerReport carries area, power and energy figures for one run.
+	PowerReport = power.Report
+	// Objective selects what the explorer maximizes.
+	Objective = power.Objective
+)
+
+// Exploration objectives.
+const (
+	ObjIPT         = power.ObjIPT
+	ObjIPTPerWatt  = power.ObjIPTPerWatt
+	ObjInverseEDP  = power.ObjInverseEDP
+	ObjInverseED2P = power.ObjInverseED2P
+)
+
+// EvaluatePower estimates area, power and energy for a simulation result.
+func EvaluatePower(res Result, t TechParams) (PowerReport, error) { return power.Evaluate(res, t) }
+
+// Fit-to-clock sizing helpers (paper §3, Figure 2): the largest structure
+// whose access time fits the product of clock period and pipeline depth,
+// minus latch overhead.
+
+// FitIQ returns the largest issue queue fitting the scheduler budget.
+func FitIQ(clockNs float64, schedDepth, width int, t TechParams) int {
+	return timing.FitIQ(timing.BudgetNs(clockNs, schedDepth, t), width, t)
+}
+
+// FitROB returns the largest ROB / register file fitting the scheduler
+// budget.
+func FitROB(clockNs float64, schedDepth, width int, t TechParams) int {
+	return timing.FitROB(timing.BudgetNs(clockNs, schedDepth, t), width, t)
+}
+
+// FitLSQ returns the largest load/store queue fitting its stage budget.
+func FitLSQ(clockNs float64, lsqDepth int, t TechParams) int {
+	return timing.FitLSQ(timing.BudgetNs(clockNs, lsqDepth, t), t)
+}
+
+// MaxCache returns the largest cache geometry fitting the given cycle
+// count at the given clock; level is 1 or 2.
+func MaxCache(clockNs float64, latCycles, level int, t TechParams) CacheGeom {
+	return timing.MaxCache(timing.BudgetNs(clockNs, latCycles, t), level, t)
+}
+
+// FrontEndStages returns the front-end pipeline depth at a clock period.
+func FrontEndStages(clockNs float64, t TechParams) int { return timing.FrontEndStages(clockNs, t) }
+
+// MemoryCycles returns the main-memory latency in cycles at a clock period.
+func MemoryCycles(clockNs float64, t TechParams) int { return timing.MemoryCycles(clockNs, t) }

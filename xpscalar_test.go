@@ -1,0 +1,150 @@
+package xpscalar
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The public workflow, end to end on a small budget: characterize,
+	// simulate, explore, cross-configure, analyze.
+	tech := DefaultTech()
+	profiles := Suite()
+	if len(profiles) != 11 || len(SuiteNames()) != 11 {
+		t.Fatalf("suite size %d", len(profiles))
+	}
+
+	gzip, ok := WorkloadByName("gzip")
+	if !ok {
+		t.Fatal("no gzip")
+	}
+	c, err := Characterize(gzip, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WorkingSetBlocks <= 0 {
+		t.Error("empty characterization")
+	}
+
+	cfg := InitialConfig(tech)
+	res, err := Run(cfg, gzip, 10_000, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPT() <= 0 {
+		t.Error("non-positive IPT")
+	}
+
+	opt := DefaultExploreOptions(3)
+	opt.Iterations = 8
+	opt.Chains = 1
+	opt.ShortBudget = 2000
+	opt.LongBudget = 4000
+	out, err := Explore(gzip, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BestIPT <= 0 {
+		t.Error("exploration found nothing")
+	}
+
+	mcf, _ := WorkloadByName("mcf")
+	m, err := CrossMatrix([]Profile{gzip, mcf}, []Config{out.Best, out.Best}, 5_000, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 2 {
+		t.Errorf("matrix size %d", m.N())
+	}
+}
+
+func TestFacadePaperAnalyses(t *testing.T) {
+	m, err := PaperMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pair.HarIPT-1.882) > 0.01 {
+		t.Errorf("dual-core har %.3f, want 1.882", pair.HarIPT)
+	}
+	g, err := GreedySurrogates(m, PolicyFullPropagation, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RemainingArchs()) != 2 {
+		t.Errorf("full propagation heads = %d, want 2", len(g.RemainingArchs()))
+	}
+
+	sys, err := MTSystemFromSelection(m, pair.Archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := MTSimulate(sys, MTArrivals{Jobs: 200, MeanInterarrival: 50, MeanWork: 40, Seed: 1}, StallForDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Jobs != 200 {
+		t.Errorf("jobs %d", met.Jobs)
+	}
+
+	part, err := BPMST(m, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MTSystemFromPartition(m, part); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFitHelpers(t *testing.T) {
+	tech := DefaultTech()
+	if got := FitIQ(0.33, 1, 3, tech); got < 32 {
+		t.Errorf("FitIQ at Table 3 point = %d, want >= 64-ish", got)
+	}
+	if FitROB(0.33, 1, 3, tech) <= 0 || FitLSQ(0.33, 2, tech) <= 0 {
+		t.Error("fit helpers returned nothing at the Table 3 point")
+	}
+	if g := MaxCache(0.33, 4, 1, tech); g.Sets == 0 {
+		t.Error("no L1 fits 4 cycles at 0.33ns")
+	}
+	if FrontEndStages(0.33, tech) != 6 {
+		t.Errorf("FrontEndStages(0.33) = %d, want 6 (Table 3)", FrontEndStages(0.33, tech))
+	}
+	if mc := MemoryCycles(0.33, tech); mc < 150 || mc > 195 {
+		t.Errorf("MemoryCycles(0.33) = %d, want ~172", mc)
+	}
+}
+
+// ExamplePaperMatrix demonstrates loading the published Table 5 and running
+// the dual-core combination search of Table 6.
+func ExamplePaperMatrix() {
+	m, err := PaperMatrix()
+	if err != nil {
+		panic(err)
+	}
+	pair, err := m.BestCombination(2, MetricHar, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v har=%.2f\n", m.ArchNames(pair.Archs), pair.HarIPT)
+	// Output: [gcc mcf] har=1.88
+}
+
+// ExampleGreedySurrogates demonstrates the full-propagation surrogate
+// reduction of Figure 7.
+func ExampleGreedySurrogates() {
+	m, err := PaperMatrix()
+	if err != nil {
+		panic(err)
+	}
+	g, err := GreedySurrogates(m, PolicyFullPropagation, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("heads=%v har=%.2f\n", m.ArchNames(g.RemainingArchs()), g.HarmonicIPT())
+	// Output: heads=[twolf gzip] har=1.74
+}
