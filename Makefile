@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Table4|Table5' -benchtime=1x .
+
+# verify is the pre-merge gate: static checks, a full build, the test
+# suite under the race detector, and one pass of the headline reproduction
+# benchmarks (Table 4 exploration, Table 5 cross-configuration matrix).
+verify: vet build race bench
+
+clean:
+	$(GO) clean ./...

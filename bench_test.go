@@ -83,6 +83,7 @@ func BenchmarkTable4Exploration(b *testing.B) {
 	opt.Chains = 1
 	opt.ShortBudget = 4000
 	opt.LongBudget = 8000
+	ResetEngineStats()
 	var last Outcome
 	for i := 0; i < b.N; i++ {
 		out, err := Explore(gzip, opt)
@@ -93,6 +94,7 @@ func BenchmarkTable4Exploration(b *testing.B) {
 	}
 	if b.N > 0 {
 		b.ReportMetric(last.BestIPT, "bestIPT")
+		b.ReportMetric(100*EngineStats().HitRate(), "cacheHit%")
 	}
 }
 
@@ -118,12 +120,18 @@ func BenchmarkTable5CrossConfig(b *testing.B) {
 	for i, o := range outs {
 		configs[i] = o.Best
 	}
+	// Count only the timed region's evaluation requests: the cross-seeded
+	// configurations repeat across columns, so a large share of matrix
+	// cells is served from the evaluation engine's cache.
+	ResetEngineStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := CrossMatrix(profiles, configs, 10_000, t); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	b.ReportMetric(100*EngineStats().HitRate(), "cacheHit%")
 }
 
 // BenchmarkTable6BestCombos regenerates the best core combinations for 1-4

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
+//	          [-evalstats] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"xpscalar/internal/cli"
 	"xpscalar/internal/core"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/report"
 	"xpscalar/internal/store"
 )
@@ -24,25 +26,43 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crossconf: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
-		source   = flag.String("source", "paper", "matrix source: paper (published Table 5) or sim (regenerate)")
-		slowdown = flag.Bool("slowdown", false, "print the Appendix A percentage-slowdown matrix")
-		mark     = flag.String("mark", "", "star the links of a surrogate policy: none|forward|full")
-		n        = flag.Int("n", 60000, "instructions per cross-configuration evaluation (sim source)")
-		iters    = flag.Int("iterations", 200, "annealing iterations (sim source)")
-		seed     = flag.Int64("seed", 42, "seed (sim source)")
-		saveM    = flag.String("savematrix", "", "write the matrix to this JSON file")
+		source     = flag.String("source", "paper", "matrix source: paper (published Table 5) or sim (regenerate)")
+		slowdown   = flag.Bool("slowdown", false, "print the Appendix A percentage-slowdown matrix")
+		mark       = flag.String("mark", "", "star the links of a surrogate policy: none|forward|full")
+		n          = flag.Int("n", 60000, "instructions per cross-configuration evaluation (sim source)")
+		iters      = flag.Int("iterations", 200, "annealing iterations (sim source)")
+		seed       = flag.Int64("seed", 42, "seed (sim source)")
+		saveM      = flag.String("savematrix", "", "write the matrix to this JSON file")
+		evalstats  = flag.Bool("evalstats", false, "print evaluation-engine cache counters after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Print(perr)
+		}
+	}()
+
 	m, err := cli.LoadMatrix(*source, cli.MatrixOptions{Instructions: *n, Iterations: *iters, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *saveM != "" {
 		if err := store.SaveMatrix(*saveM, m); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -51,21 +71,24 @@ func main() {
 		if *mark != "" {
 			policy, err := cli.ParsePolicy(*mark)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if g, err = core.GreedySurrogates(m, policy, nil); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		fmt.Println("Percentage slowdown on other benchmarks' customized cores (Appendix A)")
 		if err := report.SlowdownMatrix(os.Stdout, m, g); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		return
+	} else {
+		fmt.Println("Cross-configuration IPT matrix (Table 5): rows = workloads, columns = architectures")
+		if err := report.CrossMatrix(os.Stdout, m); err != nil {
+			return err
+		}
 	}
-
-	fmt.Println("Cross-configuration IPT matrix (Table 5): rows = workloads, columns = architectures")
-	if err := report.CrossMatrix(os.Stdout, m); err != nil {
-		log.Fatal(err)
+	if *evalstats {
+		fmt.Printf("evaluation engine: %v\n", evalengine.Default().Stats())
 	}
+	return nil
 }

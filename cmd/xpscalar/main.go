@@ -7,6 +7,7 @@
 // Usage:
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
+//	         [-evalstats] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"os"
 	"time"
 
+	"xpscalar/internal/cli"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/power"
 	"xpscalar/internal/report"
@@ -26,18 +29,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xpscalar: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
-		only   = flag.String("workload", "", "explore a single workload (default: whole suite)")
-		iters  = flag.Int("iterations", 300, "annealing iterations per chain")
-		chains = flag.Int("chains", 4, "parallel annealing chains per workload")
-		short  = flag.Int("short", 20000, "instructions per evaluation, early phase")
-		long   = flag.Int("long", 60000, "instructions per evaluation, refinement phase")
-		seed   = flag.Int64("seed", 42, "exploration seed")
-		obj    = flag.String("objective", "ipt", "exploration objective: ipt|ipt-per-watt|edp|ed2p")
-		save   = flag.String("save", "", "write outcomes to this JSON file")
+		only       = flag.String("workload", "", "explore a single workload (default: whole suite)")
+		iters      = flag.Int("iterations", 300, "annealing iterations per chain")
+		chains     = flag.Int("chains", 4, "parallel annealing chains per workload")
+		short      = flag.Int("short", 20000, "instructions per evaluation, early phase")
+		long       = flag.Int("long", 60000, "instructions per evaluation, refinement phase")
+		seed       = flag.Int64("seed", 42, "exploration seed")
+		obj        = flag.String("objective", "ipt", "exploration objective: ipt|ipt-per-watt|edp|ed2p")
+		save       = flag.String("save", "", "write outcomes to this JSON file")
+		evalstats  = flag.Bool("evalstats", false, "print evaluation-engine cache counters after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			log.Print(perr)
+		}
+	}()
 
 	opt := explore.DefaultOptions(*seed)
 	opt.Iterations = *iters
@@ -54,14 +75,14 @@ func main() {
 	case "ed2p":
 		opt.Objective = power.ObjInverseED2P
 	default:
-		log.Fatalf("unknown -objective %q", *obj)
+		return fmt.Errorf("unknown -objective %q", *obj)
 	}
 
 	profiles := workload.Suite()
 	if *only != "" {
 		p, ok := workload.ByName(*only)
 		if !ok {
-			log.Fatalf("unknown workload %q", *only)
+			return fmt.Errorf("unknown workload %q", *only)
 		}
 		profiles = []workload.Profile{p}
 	}
@@ -69,7 +90,7 @@ func main() {
 	start := time.Now()
 	outs, err := explore.Suite(profiles, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	tab := &report.Table{Header: []string{
@@ -100,14 +121,18 @@ func main() {
 	}
 	fmt.Println("Customized architectural configurations (Table 4 analogue)")
 	if err := tab.Write(os.Stdout); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("\nexploration wall time: %v\n", time.Since(start).Round(time.Second))
+	if *evalstats {
+		fmt.Printf("evaluation engine: %v\n", evalengine.Default().Stats())
+	}
 
 	if *save != "" {
 		if err := store.SaveOutcomes(*save, outs); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("outcomes saved to %s\n", *save)
 	}
+	return nil
 }

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges for a heap
+// profile to be written to memPath; either path may be empty to skip that
+// profile. The returned stop function flushes and closes the profiles and
+// must be called before the process exits (a plain return, not os.Exit, or
+// via an explicit defer-then-log pattern around log.Fatal).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cli: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("cli: mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flatten transient garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("cli: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -6,9 +6,9 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/workload"
@@ -17,7 +17,9 @@ import (
 // BuildMatrix evaluates every profile on every configuration for n
 // instructions each and returns the resulting cross-configuration IPT
 // matrix. configs[i] must be the customized architecture of profiles[i].
-// The len(profiles)² simulations run in parallel.
+// The len(profiles)² evaluations run in parallel on the shared evaluation
+// engine, so cells already simulated by the exploration phase (and the
+// workload instruction streams) are reused rather than recomputed.
 func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
 	if len(profiles) == 0 || len(profiles) != len(configs) {
 		return nil, fmt.Errorf("core: %d profiles for %d configs", len(profiles), len(configs))
@@ -31,37 +33,17 @@ func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tec
 		ipt[i] = make([]float64, len(configs))
 	}
 
-	type job struct{ w, a int }
-	jobs := make(chan job)
-	errs := make([]error, len(profiles))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := sim.Run(configs[j.a], profiles[j.w], n, t)
-				if err != nil {
-					errs[j.w] = fmt.Errorf("core: %s on %s's arch: %w",
-						profiles[j.w].Name, names[j.a], err)
-					continue
-				}
-				ipt[j.w][j.a] = r.IPT()
-			}
-		}()
-	}
-	for w := range profiles {
-		for a := range configs {
-			jobs <- job{w, a}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+	eng := evalengine.Default()
+	if err := eng.Pool().Map(len(profiles)*len(configs), func(k int) error {
+		w, a := k/len(configs), k%len(configs)
+		ev, err := eng.Evaluate(configs[a], profiles[w], n, t, power.ObjIPT)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: %s on %s's arch: %w", profiles[w].Name, names[a], err)
 		}
+		ipt[w][a] = ev.Result.IPT()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return NewMatrix(names, ipt)
 }

@@ -1,0 +1,277 @@
+// Package evalengine is the single evaluation path of the framework: every
+// layer that needs "run workload w on configuration c for n instructions"
+// — the annealing chains, the cross-configuration matrix, the regression
+// sampler — asks the engine instead of calling sim.Run directly.
+//
+// The engine exploits the determinism of the stack. A simulation result is
+// a pure function of (configuration, workload profile, instruction budget,
+// technology, objective), so results are memoized in a concurrency-safe,
+// sharded, LRU-bounded cache keyed by a canonical fingerprint of that
+// tuple; concurrent requests for the same point are deduplicated
+// singleflight-style, so two annealing chains asking for one design point
+// trigger one simulation. Each workload's synthetic instruction stream is
+// likewise a pure function of its profile, so it is materialized once and
+// replayed across evaluations (see trace.go). Hit/miss/dedup counters make
+// the saved work observable.
+package evalengine
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// Eval is one memoized evaluation: the raw simulation result plus the
+// objective score it was requested under.
+type Eval struct {
+	Result sim.Result
+	Score  float64
+}
+
+// Options sizes an engine. The zero value selects defaults.
+type Options struct {
+	// CacheEntries bounds the number of memoized evaluations across all
+	// shards (default 65536).
+	CacheEntries int
+	// Shards is the number of cache shards (default 16). Tests use 1 to
+	// make the LRU bound exact.
+	Shards int
+	// TraceCapInstr bounds the total instructions materialized by the
+	// trace store (default 8M, ~256MB worst case); larger single requests
+	// bypass trace reuse.
+	TraceCapInstr int
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+const (
+	defaultCacheEntries  = 1 << 16
+	defaultShards        = 16
+	defaultTraceCapInstr = 8 << 20
+)
+
+// Engine memoizes simulation results and owns the shared trace store and
+// worker pool. Safe for concurrent use.
+type Engine struct {
+	shards []cacheShard
+	traces *traceStore
+	pool   *Pool
+
+	requests atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	deduped  atomic.Uint64
+	evicted  atomic.Uint64
+}
+
+// New constructs an engine with the given options.
+func New(o Options) *Engine {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = defaultCacheEntries
+	}
+	if o.Shards <= 0 {
+		o.Shards = defaultShards
+	}
+	if o.Shards > o.CacheEntries {
+		o.Shards = o.CacheEntries
+	}
+	if o.TraceCapInstr <= 0 {
+		o.TraceCapInstr = defaultTraceCapInstr
+	}
+	e := &Engine{
+		shards: make([]cacheShard, o.Shards),
+		traces: newTraceStore(o.TraceCapInstr),
+		pool:   NewPool(o.Workers),
+	}
+	per := o.CacheEntries / o.Shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range e.shards {
+		e.shards[i].cap = per
+		e.shards[i].entries = make(map[string]*list.Element)
+		e.shards[i].order = list.New()
+	}
+	return e
+}
+
+var (
+	defaultOnce sync.Once
+	defaultEng  *Engine
+)
+
+// Default returns the process-wide shared engine. All framework layers
+// evaluate through it, so redundant points requested by different layers
+// (an annealing chain and a matrix cell, say) are simulated once.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEng = New(Options{}) })
+	return defaultEng
+}
+
+// Pool returns the engine's worker pool, the fan-out primitive every
+// simulation caller shares.
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// Fingerprint canonically keys an evaluation request. Any change to any
+// field of the configuration, profile, technology, budget or objective
+// changes the fingerprint. The %#v verb is essential: unlike %v/%+v it
+// bypasses String() methods (sim.Config's String rounds the clock period
+// to two decimals, which would collide distinct configurations) and prints
+// floats at full shortest-round-trip precision, so the encoding is
+// collision-free over value-type structs and automatically covers fields
+// added later.
+func Fingerprint(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) string {
+	return fmt.Sprintf("cfg{%#v}|wl{%#v}|n=%d|tech{%#v}|obj=%d", cfg, p, budget, t, int(obj))
+}
+
+// cacheShard is one lock domain of the memo cache: an LRU-bounded map from
+// fingerprint to entry.
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // values are *memoEntry
+	order   *list.List               // front = most recently used
+}
+
+// memoEntry is one memoized (or in-flight) evaluation. ready is closed
+// when val/err are final; waiters hold the entry pointer directly, so LRU
+// eviction of an in-flight entry cannot strand them.
+type memoEntry struct {
+	key   string
+	ready chan struct{}
+	val   Eval
+	err   error
+}
+
+func (e *Engine) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// Evaluate returns the simulation result and objective score for the
+// request, serving it from the memo cache when the point has been
+// evaluated before and joining an in-flight computation when another
+// goroutine is already simulating it.
+func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+	e.requests.Add(1)
+	key := Fingerprint(cfg, p, budget, t, obj)
+	sh := e.shard(key)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.order.MoveToFront(el)
+		me := el.Value.(*memoEntry)
+		sh.mu.Unlock()
+		select {
+		case <-me.ready:
+			e.hits.Add(1)
+		default:
+			e.deduped.Add(1)
+			<-me.ready
+		}
+		return me.val, me.err
+	}
+	me := &memoEntry{key: key, ready: make(chan struct{})}
+	sh.entries[key] = sh.order.PushFront(me)
+	for sh.order.Len() > sh.cap {
+		back := sh.order.Back()
+		delete(sh.entries, back.Value.(*memoEntry).key)
+		sh.order.Remove(back)
+		e.evicted.Add(1)
+	}
+	sh.mu.Unlock()
+
+	e.misses.Add(1)
+	me.val, me.err = e.compute(cfg, p, budget, t, obj)
+	close(me.ready)
+	return me.val, me.err
+}
+
+// compute runs one simulation, replaying the profile's cached instruction
+// stream. Bit-identical to sim.Run(cfg, p, budget, t): the pipeline
+// consumes exactly budget instructions and the stream is deterministic.
+func (e *Engine) compute(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+	src, err := e.traces.source(p, budget)
+	if err != nil {
+		return Eval{}, err
+	}
+	r, err := sim.RunSource(cfg, src, p.Name, budget, t)
+	if err != nil {
+		return Eval{}, err
+	}
+	score, err := power.Score(r, obj, t)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{Result: r, Score: score}, nil
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Requests counts Evaluate calls; Hits were served from completed
+	// cache entries, Deduped joined an in-flight simulation, Misses ran
+	// one. Requests = Hits + Deduped + Misses.
+	Requests, Hits, Deduped, Misses uint64
+	// Evictions counts memo entries dropped by the LRU bound.
+	Evictions uint64
+	// TraceInstr is the number of instructions materialized by the trace
+	// store; TraceReplays the evaluations served from cached streams;
+	// TraceBypasses the requests too large to cache; TraceEvictions the
+	// profile streams evicted.
+	TraceInstr, TraceReplays, TraceBypasses, TraceEvictions uint64
+}
+
+// Saved is the number of simulations avoided: requests answered without
+// running the pipeline from cycle zero.
+func (s Stats) Saved() uint64 { return s.Hits + s.Deduped }
+
+// HitRate is the fraction of requests served without a fresh simulation.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Saved()) / float64(s.Requests)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d trace: %d instr built, %d replays, %d bypasses",
+		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions,
+		s.TraceInstr, s.TraceReplays, s.TraceBypasses)
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:       e.requests.Load(),
+		Hits:           e.hits.Load(),
+		Deduped:        e.deduped.Load(),
+		Misses:         e.misses.Load(),
+		Evictions:      e.evicted.Load(),
+		TraceInstr:     e.traces.built.Load(),
+		TraceReplays:   e.traces.replays.Load(),
+		TraceBypasses:  e.traces.bypasses.Load(),
+		TraceEvictions: e.traces.evictions.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (the caches are kept), so a phase's
+// savings can be measured in isolation.
+func (e *Engine) ResetStats() {
+	e.requests.Store(0)
+	e.hits.Store(0)
+	e.deduped.Store(0)
+	e.misses.Store(0)
+	e.evicted.Store(0)
+	e.traces.built.Store(0)
+	e.traces.replays.Store(0)
+	e.traces.bypasses.Store(0)
+	e.traces.evictions.Store(0)
+}

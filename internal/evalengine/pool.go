@@ -1,0 +1,71 @@
+// The unified worker pool. Before the evaluation engine existed, every
+// layer that fanned simulations out — the exploration suite, the
+// cross-configuration matrix builder, the regression sampler — carried its
+// own semaphore or channel-of-jobs pattern. They all reduce to the same
+// shape: run fn(i) for i in [0,n) with bounded parallelism and report the
+// first failure deterministically. Pool is that shape, once.
+
+package evalengine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs indexed jobs with bounded parallelism. The zero value is not
+// useful; construct with NewPool. A Pool is stateless between calls and
+// safe for concurrent use; nested Map calls are safe (each call spawns its
+// own bounded worker set, so a worker that fans out further cannot
+// deadlock waiting for its own pool's tokens).
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers jobs concurrently per Map
+// call. Non-positive values mean GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0,n), at most p.Workers() at a time, and
+// waits for all of them. It returns the lowest-index error, so failure
+// reporting is deterministic regardless of scheduling.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package evalengine
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolMapCoversAllIndices: every index runs exactly once.
+func TestPoolMapCoversAllIndices(t *testing.T) {
+	p := NewPool(4)
+	ran := make([]atomic.Int32, 100)
+	if err := p.Map(100, func(i int) error {
+		ran[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestPoolMapBoundsConcurrency: no more than Workers() tasks are in flight
+// at once.
+func TestPoolMapBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var inFlight, peak atomic.Int32
+	if err := p.Map(50, func(int) error {
+		now := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if now <= old || peak.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent tasks, pool bound is 3", got)
+	}
+}
+
+// TestPoolMapFirstError: the error reported is the lowest-index failure,
+// so failures are deterministic regardless of scheduling.
+func TestPoolMapFirstError(t *testing.T) {
+	p := NewPool(8)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := p.Map(64, func(i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 50:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errLow)
+	}
+}
+
+// TestPoolMapNested: pools spawn bounded goroutines per call rather than
+// sharing tokens, so nesting Map inside Map cannot deadlock (exploration
+// nests chains inside the suite fan-out this way).
+func TestPoolMapNested(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int32
+	if err := p.Map(4, func(int) error {
+		return p.Map(4, func(int) error {
+			total.Add(1)
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 16 {
+		t.Fatalf("nested maps ran %d tasks, want 16", total.Load())
+	}
+}
+
+// TestPoolDefaults: non-positive worker counts fall back to GOMAXPROCS,
+// and empty maps are no-ops.
+func TestPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if err := NewPool(2).Map(0, func(int) error { t.Error("ran on n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

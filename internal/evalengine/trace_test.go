@@ -1,0 +1,156 @@
+package evalengine
+
+import (
+	"reflect"
+	"testing"
+
+	"xpscalar/internal/workload"
+)
+
+// drain pulls n instructions from a source.
+func drain(t *testing.T, src workload.Source, n int) []workload.Instr {
+	t.Helper()
+	out := make([]workload.Instr, n)
+	for i := range out {
+		src.Next(&out[i])
+	}
+	return out
+}
+
+// fresh returns the first n instructions of a brand-new generator.
+func fresh(t *testing.T, p workload.Profile, n int) []workload.Instr {
+	t.Helper()
+	g, err := workload.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drain(t, g, n)
+}
+
+// TestReplayMatchesGenerator: a replayed stream must be bit-identical to a
+// fresh generator — this is what makes trace reuse sound.
+func TestReplayMatchesGenerator(t *testing.T) {
+	p := testProfile(31)
+	want := fresh(t, p, 3000)
+
+	ts := newTraceStore(1 << 20)
+	src, err := ts.source(p, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src, 3000); !reflect.DeepEqual(got, want) {
+		t.Fatal("replayed stream differs from a fresh generator")
+	}
+}
+
+// TestReplayPrefixStable: a shorter replay is a prefix of a longer one, and
+// extending a cached stream does not disturb sources handed out earlier.
+func TestReplayPrefixStable(t *testing.T) {
+	p := testProfile(37)
+	ts := newTraceStore(1 << 20)
+
+	short, err := ts.source(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := ts.source(p, 3000) // forces the cached stream to grow
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotShort := drain(t, short, 1000)
+	gotLong := drain(t, long, 3000)
+	if !reflect.DeepEqual(gotShort, gotLong[:1000]) {
+		t.Fatal("short replay is not a prefix of the long replay")
+	}
+	if want := fresh(t, p, 3000); !reflect.DeepEqual(gotLong, want) {
+		t.Fatal("grown stream differs from a fresh generator")
+	}
+	if ts.replays.Load() != 2 || ts.built.Load() != 3000 {
+		t.Fatalf("replays=%d built=%d, want 2 replays over 3000 built instructions",
+			ts.replays.Load(), ts.built.Load())
+	}
+}
+
+// TestReplayWraps: a replay source longer-lived than its budget wraps to
+// the beginning rather than running dry (matches generator use, where the
+// pipeline never reads past the budget anyway).
+func TestReplayWraps(t *testing.T) {
+	p := testProfile(41)
+	ts := newTraceStore(1 << 20)
+	src, err := ts.source(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, src, 10)
+	again := drain(t, src, 10)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("replay did not wrap deterministically")
+	}
+}
+
+// TestTraceBypass: requests beyond the store's instruction budget fall back
+// to a fresh generator instead of caching an oversized stream.
+func TestTraceBypass(t *testing.T) {
+	p := testProfile(43)
+	ts := newTraceStore(100)
+	src, err := ts.source(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.bypasses.Load() != 1 {
+		t.Fatalf("bypasses = %d, want 1", ts.bypasses.Load())
+	}
+	if got, want := drain(t, src, 500), fresh(t, p, 500); !reflect.DeepEqual(got, want) {
+		t.Fatal("bypass stream differs from a fresh generator")
+	}
+	if len(ts.entries) != 0 {
+		t.Fatalf("bypass must not populate the store; %d entries cached", len(ts.entries))
+	}
+}
+
+// TestTraceEviction: growing past the store budget evicts least-recently
+// used workloads but never the stream being grown.
+func TestTraceEviction(t *testing.T) {
+	a, b, c := testProfile(47), testProfile(53), testProfile(59)
+	ts := newTraceStore(2500)
+	for _, p := range []workload.Profile{a, b, c} {
+		if _, err := ts.source(p, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts.evictions.Load() == 0 {
+		t.Fatal("three 1000-instruction streams in a 2500 budget must evict")
+	}
+	total := 0
+	ts.mu.Lock()
+	for _, e := range ts.entries {
+		total += e.size
+	}
+	ts.mu.Unlock()
+	if total > 2500 {
+		t.Fatalf("store holds %d instructions, budget 2500", total)
+	}
+	// The stream just grown survives its own eviction pass.
+	if _, ok := ts.entries[profileKey(c)]; !ok {
+		t.Fatal("most recent stream was evicted")
+	}
+	// An evicted stream regenerates identically.
+	src, err := ts.source(a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := drain(t, src, 1000), fresh(t, a, 1000); !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated stream differs from a fresh generator")
+	}
+}
+
+// TestProfileKeyDistinguishesSeeds: profiles differing only in seed (same
+// name) must cache distinct streams.
+func TestProfileKeyDistinguishesSeeds(t *testing.T) {
+	a := testProfile(61)
+	b := a
+	b.Seed = 67
+	if profileKey(a) == profileKey(b) {
+		t.Fatal("profiles with distinct seeds share a trace key")
+	}
+}

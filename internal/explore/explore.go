@@ -17,10 +17,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
@@ -129,24 +128,27 @@ func Workload(p workload.Profile, opt Options) (Outcome, error) {
 		err error
 	}
 	results := make([]chainResult, opt.Chains)
-	var wg sync.WaitGroup
-	for ci := 0; ci < opt.Chains; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			out, err := runChain(p, opt, opt.Seed+int64(ci)*7919)
-			results[ci] = chainResult{out, err}
-		}(ci)
-	}
-	wg.Wait()
+	pool := evalengine.Default().Pool()
+	_ = pool.Map(opt.Chains, func(ci int) error {
+		out, err := runChain(p, opt, opt.Seed+int64(ci)*7919)
+		results[ci] = chainResult{out, err}
+		return nil
+	})
 
-	best := Outcome{}
-	totalEvals := 0
 	for _, r := range results {
 		if r.err != nil {
 			return Outcome{}, r.err
 		}
+	}
+	// Select the first chain explicitly, then compare: seeding the
+	// comparison with a zero Outcome would silently drop every chain when
+	// all scores are <= 0, which power-aware objectives permit.
+	best := results[0].out
+	totalEvals := 0
+	for _, r := range results {
 		totalEvals += r.out.Evaluations
+	}
+	for _, r := range results[1:] {
 		if r.out.BestScore > best.BestScore {
 			best = r.out
 		}
@@ -301,21 +303,18 @@ func bump(v int, rng *rand.Rand, lo, hi int) int {
 func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	t := opt.Tech
+	eng := evalengine.Default()
 
 	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
 		budget := opt.ShortBudget
 		if iter > opt.Iterations*3/5 {
 			budget = opt.LongBudget
 		}
-		r, err := sim.Run(cfg, p, budget, t)
+		ev, err := eng.Evaluate(cfg, p, budget, t, opt.Objective)
 		if err != nil {
 			return 0, 0, err
 		}
-		score, err = power.Score(r, opt.Objective, t)
-		if err != nil {
-			return 0, 0, err
-		}
-		return score, r.IPT(), nil
+		return ev.Score, ev.Result.IPT(), nil
 	}
 
 	cur := initialPoint()
@@ -397,18 +396,14 @@ func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
 	if !ok {
 		return Outcome{}, fmt.Errorf("explore: best point became infeasible for %s", p.Name)
 	}
-	r, err := sim.Run(bestCfg, p, opt.LongBudget, t)
-	if err != nil {
-		return Outcome{}, err
-	}
-	score, err := power.Score(r, opt.Objective, t)
+	ev, err := eng.Evaluate(bestCfg, p, opt.LongBudget, t, opt.Objective)
 	if err != nil {
 		return Outcome{}, err
 	}
 	out.Evaluations++
 	out.Best = bestCfg
-	out.BestIPT = r.IPT()
-	out.BestScore = score
+	out.BestIPT = ev.Result.IPT()
+	out.BestScore = ev.Score
 	return out, nil
 }
 
@@ -421,26 +416,14 @@ func Suite(profiles []workload.Profile, opt Options) ([]Outcome, error) {
 		return nil, err
 	}
 	outs := make([]Outcome, len(profiles))
-	errs := make([]error, len(profiles))
-
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p workload.Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opt
-			o.Seed = opt.Seed + int64(i)*104729
-			outs[i], errs[i] = Workload(p, o)
-		}(i, p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := evalengine.Default().Pool().Map(len(profiles), func(i int) error {
+		o := opt
+		o.Seed = opt.Seed + int64(i)*104729
+		var err error
+		outs[i], err = Workload(profiles[i], o)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
 	// Cross-seeding round.
@@ -464,34 +447,18 @@ func crossSeed(profiles []workload.Profile, outs []Outcome, opt Options) error {
 	}
 	ipts := make([]float64, len(jobs))
 	raws := make([]float64, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := sim.Run(outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			score, err := power.Score(r, opt.Objective, opt.Tech)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			ipts[ji] = score
-			raws[ji] = r.IPT()
-		}(ji, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	eng := evalengine.Default()
+	if err := eng.Pool().Map(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		ev, err := eng.Evaluate(outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
 		if err != nil {
 			return err
 		}
+		ipts[ji] = ev.Score
+		raws[ji] = ev.Result.IPT()
+		return nil
+	}); err != nil {
+		return err
 	}
 	// Adopt deterministically: best donor by IPT, ties to lowest index.
 	type adoption struct {
@@ -526,14 +493,6 @@ func crossSeed(profiles []workload.Profile, outs []Outcome, opt Options) error {
 		outs[a.wi].BestIPT = a.raw
 	}
 	return nil
-}
-
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
 // RandomConfigs returns up to n distinct valid configurations drawn by

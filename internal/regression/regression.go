@@ -17,10 +17,10 @@ package regression
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/workload"
@@ -179,35 +179,25 @@ func (m *Model) Predict(c sim.Config) float64 {
 	return out
 }
 
-// CollectSamples simulates a workload on every configuration, in parallel,
-// producing training data.
+// CollectSamples simulates a workload on every configuration, in parallel
+// on the shared evaluation engine, producing training data. Configurations
+// already simulated at this budget (by exploration or an earlier sampling
+// round) are served from the engine's cache.
 func CollectSamples(p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]Sample, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("regression: no configurations")
 	}
 	samples := make([]Sample, len(configs))
-	errs := make([]error, len(configs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, cfg := range configs {
-		wg.Add(1)
-		go func(i int, cfg sim.Config) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := sim.Run(cfg, p, instr, t)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			samples[i] = Sample{Config: cfg, IPT: r.IPT()}
-		}(i, cfg)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	eng := evalengine.Default()
+	if err := eng.Pool().Map(len(configs), func(i int) error {
+		ev, err := eng.Evaluate(configs[i], p, instr, t, power.ObjIPT)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		samples[i] = Sample{Config: configs[i], IPT: ev.Result.IPT()}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return samples, nil
 }

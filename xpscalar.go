@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"xpscalar/internal/core"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/multithread"
 	"xpscalar/internal/paperdata"
@@ -239,6 +240,27 @@ const (
 
 // EvaluatePower estimates area, power and energy for a simulation result.
 func EvaluatePower(res Result, t TechParams) (PowerReport, error) { return power.Evaluate(res, t) }
+
+// Evaluation engine: the shared memoized evaluation path every layer
+// (exploration, cross-configuration matrix, regression sampling) runs
+// simulations through. Results are cached by a canonical fingerprint of
+// (configuration, workload, budget, technology, objective), concurrent
+// requests for one point are deduplicated, and workload instruction
+// streams are generated once and replayed.
+type (
+	// EvalStats snapshots the engine's hit/miss/dedup/trace counters.
+	EvalStats = evalengine.Stats
+)
+
+// EngineStats returns the shared evaluation engine's counters: how many
+// evaluation requests were served from cache or deduplicated against an
+// in-flight simulation, and how much instruction-stream generation was
+// reused.
+func EngineStats() EvalStats { return evalengine.Default().Stats() }
+
+// ResetEngineStats zeroes the shared engine's counters (its caches are
+// kept), so one phase's savings can be measured in isolation.
+func ResetEngineStats() { evalengine.Default().ResetStats() }
 
 // Fit-to-clock sizing helpers (paper §3, Figure 2): the largest structure
 // whose access time fits the product of clock period and pipeline depth,
