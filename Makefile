@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench verify clean
+.PHONY: all build test vet race race-hot bench verify clean
 
 all: build
 
@@ -16,6 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-hot is the focused race gate for the concurrency-heavy packages:
+# the evaluation engine, the telemetry substrate, and the annealer.
+race-hot:
+	$(GO) test -race ./internal/evalengine ./internal/telemetry ./internal/explore
+
+# bench reports the headline reproduction metrics plus the evaluation
+# engine's cache hit rate and sim-latency quantiles (cacheHit%, simP50ms,
+# simP95ms).
 bench:
 	$(GO) test -run '^$$' -bench 'Table4|Table5' -benchtime=1x .
 

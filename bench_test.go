@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"xpscalar/internal/cli"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/subsetting"
+	"xpscalar/internal/telemetry"
 )
 
 func mustPaperMatrix(b *testing.B) *Matrix {
@@ -84,6 +86,10 @@ func BenchmarkTable4Exploration(b *testing.B) {
 	opt.ShortBudget = 4000
 	opt.LongBudget = 8000
 	ResetEngineStats()
+	// A private registry captures the sim-latency histogram for this run
+	// without touching the process-wide default.
+	reg := telemetry.NewRegistry()
+	evalengine.Default().EnableTelemetry(reg)
 	var last Outcome
 	for i := 0; i < b.N; i++ {
 		out, err := Explore(gzip, opt)
@@ -95,6 +101,9 @@ func BenchmarkTable4Exploration(b *testing.B) {
 	if b.N > 0 {
 		b.ReportMetric(last.BestIPT, "bestIPT")
 		b.ReportMetric(100*EngineStats().HitRate(), "cacheHit%")
+		hist := reg.Histogram("xpscalar_sim_seconds", "", nil)
+		b.ReportMetric(hist.Quantile(0.5)*1e3, "simP50ms")
+		b.ReportMetric(hist.Quantile(0.95)*1e3, "simP95ms")
 	}
 }
 

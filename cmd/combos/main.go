@@ -6,6 +6,9 @@
 // Usage:
 //
 //	combos [-source paper|sim] [-maxk n] [-figure4] [-summary] [-weights w1,w2,...]
+//	       [-trace file] [-metrics-addr addr] [-progress]
+//
+// Tables go to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -24,7 +27,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("combos: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		source      = flag.String("source", "paper", "matrix source: paper or sim")
 		maxK        = flag.Int("maxk", 4, "largest core count to search")
@@ -32,27 +40,43 @@ func main() {
 		summary     = flag.Bool("summary", false, "print the dual-core summary (Table 7)")
 		weightsFlag = flag.String("weights", "", "comma-separated importance weights, one per benchmark")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
-	m, err := cli.LoadMatrix(*source, cli.DefaultMatrixOptions())
+	tel, err := cli.StartTelemetry("combos", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	mo := cli.DefaultMatrixOptions()
+	mo.Telemetry = tel
+	m, err := cli.LoadMatrix(*source, mo)
+	if err != nil {
+		return err
 	}
 	weights, err := parseWeights(*weightsFlag, m.N())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *summary {
-		printSummary(m, weights)
-		return
+		return printSummary(m, weights)
 	}
 
-	table6(m, *maxK, weights)
+	if err := table6(m, *maxK, weights); err != nil {
+		return err
+	}
 	if *fig4 {
 		fmt.Println()
-		figure4(m, weights)
+		return figure4(m, weights)
 	}
+	return nil
 }
 
 func parseWeights(s string, n int) ([]float64, error) {
@@ -74,14 +98,14 @@ func parseWeights(s string, n int) ([]float64, error) {
 	return ws, nil
 }
 
-func table6(m *core.Matrix, maxK int, weights []float64) {
+func table6(m *core.Matrix, maxK int, weights []float64) error {
 	fmt.Println("Best core combinations (Table 6)")
 	tab := &report.Table{Header: []string{"cores", "metric", "combination", "avg IPT", "har IPT"}}
 	for k := 1; k <= maxK; k++ {
 		for _, metric := range []core.Metric{core.MetricAvg, core.MetricHar, core.MetricCWHar} {
 			c, err := m.BestCombination(k, metric, weights)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			tab.AddRow(
 				fmt.Sprint(k),
@@ -99,27 +123,25 @@ func table6(m *core.Matrix, maxK int, weights []float64) {
 	tab.AddRow(fmt.Sprint(m.N()), "ideal", "each on its own customized arch",
 		fmt.Sprintf("%.3f", m.Merit(all, core.MetricAvg, weights)),
 		fmt.Sprintf("%.3f", m.Merit(all, core.MetricHar, weights)))
-	if err := tab.Write(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	return tab.Write(os.Stdout)
 }
 
-func figure4(m *core.Matrix, weights []float64) {
+func figure4(m *core.Matrix, weights []float64) error {
 	single, err := m.BestCombination(1, core.MetricAvg, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	twoAvg, err := m.BestCombination(2, core.MetricAvg, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	twoHar, err := m.BestCombination(2, core.MetricHar, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	twoCW, err := m.BestCombination(2, core.MetricCWHar, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	all := make([]int, m.N())
 	for i := range all {
@@ -150,12 +172,10 @@ func figure4(m *core.Matrix, weights []float64) {
 		}
 		tab.AddRow(row...)
 	}
-	if err := tab.Write(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	return tab.Write(os.Stdout)
 }
 
-func printSummary(m *core.Matrix, weights []float64) {
+func printSummary(m *core.Matrix, weights []float64) error {
 	all := make([]int, m.N())
 	for i := range all {
 		all[i] = i
@@ -163,15 +183,15 @@ func printSummary(m *core.Matrix, weights []float64) {
 	ideal := m.Merit(all, core.MetricHar, weights)
 	single, err := m.BestCombination(1, core.MetricHar, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	complete, err := m.BestCombination(2, core.MetricHar, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	surr, err := core.GreedySurrogates(m, core.PolicyFullPropagation, weights)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("Dual-core summary (Table 7)")
@@ -183,7 +203,5 @@ func printSummary(m *core.Matrix, weights []float64) {
 	row(fmt.Sprintf("homogeneous (%s)", strings.Join(m.ArchNames(single.Archs), ", ")), single.HarIPT)
 	row(fmt.Sprintf("complete search (%s)", strings.Join(m.ArchNames(complete.Archs), ", ")), complete.HarIPT)
 	row("greedy surrogates, full propagation", surr.HarmonicIPT())
-	if err := tab.Write(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	return tab.Write(os.Stdout)
 }

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
-//	          [-evalstats] [-cpuprofile file] [-memprofile file]
+//	          [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	          [-cpuprofile file] [-memprofile file]
+//
+// Matrices go to stdout; diagnostics go to stderr. With -source sim, -trace
+// records the regeneration pipeline (annealing steps, evaluations, matrix
+// cells) and -metrics-addr serves live Prometheus metrics.
 package main
 
 import (
@@ -44,6 +49,8 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
@@ -56,7 +63,17 @@ func run() error {
 		}
 	}()
 
-	m, err := cli.LoadMatrix(*source, cli.MatrixOptions{Instructions: *n, Iterations: *iters, Seed: *seed})
+	tel, err := cli.StartTelemetry("crossconf", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
+	if err != nil {
+		return err
+	}
+
+	m, err := cli.LoadMatrix(*source, cli.MatrixOptions{Instructions: *n, Iterations: *iters, Seed: *seed, Telemetry: tel})
 	if err != nil {
 		return err
 	}
@@ -88,7 +105,7 @@ func run() error {
 		}
 	}
 	if *evalstats {
-		fmt.Printf("evaluation engine: %v\n", evalengine.Default().Stats())
+		log.Printf("evaluation engine: %v", evalengine.Default().Stats())
 	}
 	return nil
 }

@@ -7,6 +7,9 @@
 // Usage:
 //
 //	mtsim [-source paper|sim] [-cores k] [-jobs n] [-interarrival t] [-work w] [-sweep]
+//	      [-trace file] [-metrics-addr addr] [-progress]
+//
+// Tables go to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -24,7 +27,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		source = flag.String("source", "paper", "matrix source: paper or sim")
 		cores  = flag.Int("cores", 2, "number of cores")
@@ -34,28 +42,42 @@ func main() {
 		sweep  = flag.Bool("sweep", false, "sweep burstiness 0..8")
 		seed   = flag.Int64("seed", 7, "arrival stream seed")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
-	m, err := cli.LoadMatrix(*source, cli.DefaultMatrixOptions())
+	tel, err := cli.StartTelemetry("mtsim", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	mo := cli.DefaultMatrixOptions()
+	mo.Telemetry = tel
+	m, err := cli.LoadMatrix(*source, mo)
+	if err != nil {
+		return err
 	}
 
 	selection, err := m.BestCombination(*cores, core.MetricHar, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	selSys, err := multithread.SystemFromSelection(m, selection.Archs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	part, err := multithread.BPMST(m, *cores, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	bpSys, err := multithread.SystemFromPartition(m, part)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("complete-search cores: %v\n", m.ArchNames(selection.Archs))
@@ -81,27 +103,36 @@ func main() {
 	tab := &report.Table{Header: []string{
 		"system", "policy", "burstiness", "avg turnaround", "svc slowdown", "redirects", "max queue",
 	}}
-	run := func(name string, sys multithread.System, policy multithread.Policy, b float64) {
+	simulate := func(name string, sys multithread.System, policy multithread.Policy, b float64) error {
 		met, err := multithread.Simulate(sys, multithread.Arrivals{
 			Jobs: *jobs, MeanInterarrival: *inter, MeanWork: *work, Burstiness: b, Seed: *seed,
 		}, policy)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tab.AddRow(name, policy.String(), fmt.Sprintf("%.0f", b),
 			fmt.Sprintf("%.1f", met.AvgTurnaround),
 			fmt.Sprintf("%.1f%%", met.AvgServiceSlow*100),
 			fmt.Sprint(met.Redirections),
 			fmt.Sprint(met.MaxQueueDepth))
+		return nil
 	}
 	for _, b := range burstiness {
-		run("complete-search", selSys, multithread.StallForDesignated, b)
-		run("complete-search", selSys, multithread.NextBestAvailable, b)
-		run("bpmst", bpSys, multithread.StallForDesignated, b)
-		run("bpmst", bpSys, multithread.NextBestAvailable, b)
+		for _, r := range []struct {
+			name   string
+			sys    multithread.System
+			policy multithread.Policy
+		}{
+			{"complete-search", selSys, multithread.StallForDesignated},
+			{"complete-search", selSys, multithread.NextBestAvailable},
+			{"bpmst", bpSys, multithread.StallForDesignated},
+			{"bpmst", bpSys, multithread.NextBestAvailable},
+		} {
+			if err := simulate(r.name, r.sys, r.policy, b); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Println()
-	if err := tab.Write(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	return tab.Write(os.Stdout)
 }

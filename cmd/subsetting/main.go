@@ -9,6 +9,9 @@
 // Usage:
 //
 //	subsetting [-kiviat] [-dendrogram] [-kmeans k] [-norm none|minmax|zscore] [-n instr]
+//	           [-trace file] [-metrics-addr addr]
+//
+// Reports go to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -28,7 +31,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("subsetting: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		kiviat = flag.Bool("kiviat", false, "print Kiviat vectors of the Figure 1 illustrative workloads and the suite")
 		dendro = flag.Bool("dendrogram", false, "print the raw-characteristics dendrogram of the suite")
@@ -36,24 +44,43 @@ func main() {
 		norm   = flag.String("norm", "minmax", "k-means normalization: none|minmax|zscore")
 		n      = flag.Int("n", 50000, "instructions per characteristic extraction")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 	if !*kiviat && !*dendro && *kmeans == 0 {
 		*kiviat, *dendro = true, true
 	}
 
+	tel, err := cli.StartTelemetry("subsetting", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
+	if err != nil {
+		return err
+	}
+
 	if *kiviat {
 		fmt.Println("Illustrative workloads α, β, γ (Figure 1)")
-		printKiviats(workload.IllustrativeProfiles(), *n)
+		if err := printKiviats(workload.IllustrativeProfiles(), *n); err != nil {
+			return err
+		}
 		fmt.Println("\nSynthetic SPEC2000 suite")
-		printKiviats(workload.Suite(), *n)
+		if err := printKiviats(workload.Suite(), *n); err != nil {
+			return err
+		}
 	}
 
 	if *dendro {
 		fmt.Println("\nRaw-characteristics dendrogram (average linkage)")
-		cs := extract(workload.Suite(), *n)
+		cs, err := extract(workload.Suite(), *n)
+		if err != nil {
+			return err
+		}
 		ks, err := subsetting.KiviatSet(cs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		features := make([][]float64, len(ks))
 		names := make([]string, len(ks))
@@ -63,10 +90,10 @@ func main() {
 		}
 		root, err := subsetting.Dendrogram(subsetting.DistanceMatrix(features), subsetting.AverageLinkage)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := report.Dendrogram(os.Stdout, root, names); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -78,7 +105,7 @@ func main() {
 		configs, names := paperConfigVectors()
 		res, err := subsetting.KMeans(configs, *kmeans, normalization)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for ci, set := range subsetting.ClusterSets(res.Assign, *kmeans) {
 			var members []string
@@ -88,31 +115,36 @@ func main() {
 			fmt.Printf("  cluster %d: %s\n", ci+1, strings.Join(members, ", "))
 		}
 	}
+	return nil
 }
 
-func extract(profiles []workload.Profile, n int) []workload.Characteristics {
+func extract(profiles []workload.Profile, n int) ([]workload.Characteristics, error) {
 	var cs []workload.Characteristics
 	for _, p := range profiles {
 		c, err := workload.Extract(p, n)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		cs = append(cs, c)
 	}
-	return cs
+	return cs, nil
 }
 
-func printKiviats(profiles []workload.Profile, n int) {
-	cs := extract(profiles, n)
+func printKiviats(profiles []workload.Profile, n int) error {
+	cs, err := extract(profiles, n)
+	if err != nil {
+		return err
+	}
 	ks, err := subsetting.KiviatSet(cs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, k := range ks {
 		if err := report.Kiviat(os.Stdout, k); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // paperConfigVectors converts the published Table 4 configurations to

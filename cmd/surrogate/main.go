@@ -6,6 +6,9 @@
 // Usage:
 //
 //	surrogate [-source paper|sim] [-policy none|forward|full|all]
+//	          [-trace file] [-metrics-addr addr] [-progress]
+//
+// Graphs go to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -22,23 +25,42 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surrogate: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		source = flag.String("source", "paper", "matrix source: paper or sim")
 		policy = flag.String("policy", "all", "propagation policy: none|forward|full|all")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
-	m, err := cli.LoadMatrix(*source, cli.DefaultMatrixOptions())
+	tel, err := cli.StartTelemetry("surrogate", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	mo := cli.DefaultMatrixOptions()
+	mo.Telemetry = tel
+	m, err := cli.LoadMatrix(*source, mo)
+	if err != nil {
+		return err
 	}
 
 	policies := []core.Policy{core.PolicyNoPropagation, core.PolicyForwardPropagation, core.PolicyFullPropagation}
 	if *policy != "all" {
 		p, err := cli.ParsePolicy(*policy)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		policies = []core.Policy{p}
 	}
@@ -54,11 +76,12 @@ func main() {
 		}
 		g, err := core.GreedySurrogates(m, p, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("Greedy surrogate assignment, %v (%s analogue)\n", p, figure[p])
 		if err := report.SurrogateGraph(os.Stdout, m, g); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }

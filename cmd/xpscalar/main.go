@@ -7,7 +7,12 @@
 // Usage:
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
-//	         [-evalstats] [-cpuprofile file] [-memprofile file]
+//	         [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	         [-cpuprofile file] [-memprofile file]
+//
+// The Table 4 analogue goes to stdout; diagnostics (wall time, -evalstats,
+// -progress) go to stderr. -trace writes a structured JSONL run trace and
+// -metrics-addr serves live Prometheus metrics while the search runs.
 package main
 
 import (
@@ -48,11 +53,23 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
-	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	tel, err := cli.StartTelemetry("xpscalar", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
 	if err != nil {
 		return err
+	}
+
+	stopProfiles, perr := cli.StartProfiles(*cpuprofile, *memprofile)
+	if perr != nil {
+		return perr
 	}
 	defer func() {
 		if perr := stopProfiles(); perr != nil {
@@ -61,6 +78,7 @@ func run() error {
 	}()
 
 	opt := explore.DefaultOptions(*seed)
+	opt.Observer = tel.ExploreObserver()
 	opt.Iterations = *iters
 	opt.Chains = *chains
 	opt.ShortBudget = *short
@@ -123,16 +141,16 @@ func run() error {
 	if err := tab.Write(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("\nexploration wall time: %v\n", time.Since(start).Round(time.Second))
+	log.Printf("exploration wall time: %v", time.Since(start).Round(time.Second))
 	if *evalstats {
-		fmt.Printf("evaluation engine: %v\n", evalengine.Default().Stats())
+		log.Printf("evaluation engine: %v", evalengine.Default().Stats())
 	}
 
 	if *save != "" {
 		if err := store.SaveOutcomes(*save, outs); err != nil {
 			return err
 		}
-		fmt.Printf("outcomes saved to %s\n", *save)
+		log.Printf("outcomes saved to %s", *save)
 	}
 	return nil
 }

@@ -7,7 +7,9 @@
 //
 // Usage:
 //
-//	xpviz [-source paper|sim]
+//	xpviz [-source paper|sim] [-trace file] [-metrics-addr addr] [-progress]
+//
+// The heat map goes to stdout; diagnostics go to stderr.
 package main
 
 import (
@@ -24,19 +26,38 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xpviz: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	source := flag.String("source", "paper", "matrix source: paper or sim")
+	var tcfg cli.TelemetryConfig
+	tcfg.RegisterFlags()
 	flag.Parse()
 
-	m, err := cli.LoadMatrix(*source, cli.DefaultMatrixOptions())
+	tel, err := cli.StartTelemetry("xpviz", tcfg)
+	defer func() {
+		if cerr := tel.Close(); cerr != nil {
+			log.Print(cerr)
+		}
+	}()
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	mo := cli.DefaultMatrixOptions()
+	mo.Telemetry = tel
+	m, err := cli.LoadMatrix(*source, mo)
+	if err != nil {
+		return err
 	}
 
 	fmt.Println("Cross-configuration slowdown heat map (rows: workloads, columns: architectures)")
 	fmt.Println()
 	if err := report.Heatmap(os.Stdout, m); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Column summary: how well each architecture serves the whole suite.
@@ -48,4 +69,5 @@ func main() {
 		}
 		fmt.Printf("  %-8s %.3f\n", name, stats.HarmonicMean(col))
 	}
+	return nil
 }

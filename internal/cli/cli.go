@@ -26,6 +26,10 @@ type MatrixOptions struct {
 	Iterations int
 	// Seed for the whole pipeline.
 	Seed int64
+	// Telemetry, when non-nil, observes the regeneration pipeline: the
+	// annealing chains and each completed matrix cell. It never affects
+	// the matrix produced.
+	Telemetry *Telemetry
 }
 
 // DefaultMatrixOptions returns a moderate regeneration budget.
@@ -68,7 +72,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		if n <= 0 {
 			n = 60000
 		}
-		return core.BuildMatrix(profiles, configs, n, tech.Default())
+		return core.BuildMatrixObserved(profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
 	}
 	switch source {
 	case "paper":
@@ -78,6 +82,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		if o.Iterations > 0 {
 			opt.Iterations = o.Iterations
 		}
+		opt.Observer = o.Telemetry.ExploreObserver()
 		profiles := workload.Suite()
 		outs, err := explore.Suite(profiles, opt)
 		if err != nil {
@@ -91,7 +96,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		if n <= 0 {
 			n = 60000
 		}
-		return core.BuildMatrix(profiles, configs, n, tech.Default())
+		return core.BuildMatrixObserved(profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
 	default:
 		return nil, fmt.Errorf("cli: unknown matrix source %q (want paper or sim)", source)
 	}

@@ -1,0 +1,51 @@
+// The -progress renderer: a line per chain roughly every tenth of its
+// iteration budget, plus a line when each chain finishes. Chains run in
+// parallel, so lines interleave; each is self-identifying
+// (workload/chain). Output goes to stderr so tables on stdout stay
+// machine-parseable.
+
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"xpscalar/internal/explore"
+)
+
+// progressObserver implements explore.Observer by printing throttled
+// progress lines.
+type progressObserver struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newProgressObserver(w io.Writer) *progressObserver {
+	return &progressObserver{w: w}
+}
+
+// ObserveStep implements explore.Observer. It prints every stride-th
+// iteration (iterations are 1-based), where the stride is a tenth of the
+// chain's budget.
+func (p *progressObserver) ObserveStep(e explore.StepEvent) {
+	stride := e.TotalIterations / 10
+	if stride < 1 {
+		stride = 1
+	}
+	if e.Iteration%stride != 0 && e.Iteration != e.TotalIterations {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "progress: %s chain %d %d/%d T=%.3g best=%.4f\n",
+		e.Workload, e.Chain, e.Iteration, e.TotalIterations, e.Temperature, e.BestScore)
+}
+
+// ObserveChain implements explore.Observer.
+func (p *progressObserver) ObserveChain(e explore.ChainEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "progress: %s chain %d done best=%.4f ipt=%.4f evals=%d\n",
+		e.Workload, e.Chain, e.BestScore, e.BestIPT, e.Evaluations)
+}

@@ -1,0 +1,245 @@
+// Telemetry wiring shared by the command-line tools. Every tool registers
+// the same three flags — -trace for a structured JSONL run trace,
+// -metrics-addr for a live Prometheus/expvar endpoint, and -progress for
+// per-workload search progress on stderr — and funnels them through
+// StartTelemetry, which connects the telemetry substrate to the evaluation
+// engine and hands back adapters for the layers that emit events. All of
+// it is opt-in: with no flags set, StartTelemetry returns a *Telemetry
+// whose every method is a cheap no-op and the instrumented hot paths stay
+// at their uninstrumented cost.
+
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/explore"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
+)
+
+// TelemetryConfig carries the three observability flags.
+type TelemetryConfig struct {
+	// TracePath is the JSONL trace file ("" for none).
+	TracePath string
+	// MetricsAddr is the listen address for the /metrics endpoint ("" for
+	// none).
+	MetricsAddr string
+	// Progress renders search progress to stderr.
+	Progress bool
+}
+
+// RegisterFlags registers -trace, -metrics-addr and -progress on the
+// default flag set, pointing at this config.
+func (c *TelemetryConfig) RegisterFlags() {
+	flag.StringVar(&c.TracePath, "trace", "", "write a structured JSONL run trace to this file")
+	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics on this address (e.g. 127.0.0.1:9090)")
+	flag.BoolVar(&c.Progress, "progress", false, "report search progress to stderr")
+}
+
+// Telemetry is one run's observability session: the trace sink, the
+// metrics server, and the adapters that translate layer-specific events
+// into trace events. A nil *Telemetry is valid and inert, as is one
+// started with an all-zero config.
+type Telemetry struct {
+	sink     *telemetry.Sink
+	server   *telemetry.Server
+	progress *progressObserver
+	start    time.Time
+}
+
+// StartTelemetry opens the sink and metrics endpoint requested by cfg,
+// wires the shared evaluation engine into both, and emits the run
+// manifest. The caller must Close the returned Telemetry when the run
+// ends; it is never nil, even on error.
+func StartTelemetry(tool string, cfg TelemetryConfig) (*Telemetry, error) {
+	t := &Telemetry{start: time.Now()}
+	if cfg.TracePath == "" && cfg.MetricsAddr == "" && !cfg.Progress {
+		return t, nil
+	}
+	if cfg.Progress {
+		t.progress = newProgressObserver(os.Stderr)
+	}
+	if cfg.MetricsAddr != "" {
+		reg := telemetry.Default()
+		evalengine.Default().EnableTelemetry(reg)
+		srv, err := telemetry.ListenAndServe(cfg.MetricsAddr, reg)
+		if err != nil {
+			return t, err
+		}
+		t.server = srv
+		log.Printf("serving metrics on http://%s/metrics", srv.Addr())
+	}
+	if cfg.TracePath != "" {
+		sink, err := telemetry.OpenSink(cfg.TracePath)
+		if err != nil {
+			t.Close()
+			return t, err
+		}
+		t.sink = sink
+		sink.Emit(manifest(tool))
+		obs := evalObserver{sink}
+		evalengine.Default().SetEvalObserver(obs)
+	}
+	return t, nil
+}
+
+// manifest captures what this run is: the tool, its effective flag values,
+// the build, and the technology parameters every simulation shares.
+func manifest(tool string) telemetry.RunManifest {
+	m := telemetry.RunManifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Flags:     map[string]string{},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+	}
+	flag.VisitAll(func(f *flag.Flag) {
+		m.Flags[f.Name] = f.Value.String()
+		if f.Name == "seed" {
+			if v, err := strconv.ParseInt(f.Value.String(), 10, 64); err == nil {
+				m.Seed = v
+			}
+		}
+	})
+	tp := tech.Default()
+	m.Tech = map[string]float64{
+		"memory_latency_ns":    tp.MemoryLatencyNs,
+		"front_end_latency_ns": tp.FrontEndLatencyNs,
+		"iq_entry_bytes":       float64(tp.IQEntryBytes),
+		"latch_latency_ns":     tp.LatchLatencyNs,
+		"fo4_ns":               tp.FO4Ns,
+		"wire_ns_per_mm":       tp.WireNsPerMm,
+		"bit_area_mm2":         tp.BitAreaMm2,
+	}
+	return m
+}
+
+// evalObserver forwards engine evaluation records to the trace.
+type evalObserver struct{ sink *telemetry.Sink }
+
+func (o evalObserver) ObserveEval(r evalengine.EvalRecord) {
+	e := telemetry.Evaluation{
+		Workload: r.Workload,
+		Budget:   r.Budget,
+		Outcome:  r.Outcome,
+		WallNs:   r.WallNs,
+		Score:    r.Score,
+		IPT:      r.IPT,
+	}
+	if r.Err != nil {
+		e.Error = r.Err.Error()
+	}
+	o.sink.Emit(e)
+}
+
+// sinkExploreObserver forwards annealing events to the trace.
+type sinkExploreObserver struct{ sink *telemetry.Sink }
+
+func (o sinkExploreObserver) ObserveStep(e explore.StepEvent) {
+	o.sink.Emit(telemetry.AnnealStep{
+		Workload:        e.Workload,
+		Chain:           e.Chain,
+		Iteration:       e.Iteration,
+		TotalIterations: e.TotalIterations,
+		Move:            e.Move,
+		Temperature:     e.Temperature,
+		Budget:          e.Budget,
+		Score:           e.Score,
+		CurrentScore:    e.CurrentScore,
+		BestScore:       e.BestScore,
+		Feasible:        e.Feasible,
+		Accepted:        e.Accepted,
+		RolledBack:      e.RolledBack,
+	})
+}
+
+func (o sinkExploreObserver) ObserveChain(e explore.ChainEvent) {
+	o.sink.Emit(telemetry.ChainResult{
+		Workload:    e.Workload,
+		Chain:       e.Chain,
+		BestScore:   e.BestScore,
+		BestIPT:     e.BestIPT,
+		Evaluations: e.Evaluations,
+	})
+}
+
+// ExploreObserver returns the observer to install on explore.Options, or
+// nil when neither tracing nor progress is on.
+func (t *Telemetry) ExploreObserver() explore.Observer {
+	if t == nil {
+		return nil
+	}
+	var obs explore.MultiObserver
+	if t.sink != nil {
+		obs = append(obs, sinkExploreObserver{t.sink})
+	}
+	if t.progress != nil {
+		obs = append(obs, t.progress)
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+	return obs
+}
+
+// CellFunc returns the matrix-cell callback for core.BuildMatrixObserved,
+// or nil when tracing is off.
+func (t *Telemetry) CellFunc() core.CellFunc {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	sink := t.sink
+	return func(workload, arch string, budget int, ipt float64) {
+		sink.Emit(telemetry.MatrixCell{Workload: workload, Arch: arch, Budget: budget, IPT: ipt})
+	}
+}
+
+// Close emits the run summary, detaches the engine observer, and shuts the
+// sink and metrics server down. Safe on a nil or inert Telemetry.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	var firstErr error
+	if t.sink != nil {
+		evalengine.Default().SetEvalObserver(nil)
+		s := evalengine.Default().Stats()
+		t.sink.Emit(telemetry.RunSummary{
+			WallNs:       time.Since(t.start).Nanoseconds(),
+			Requests:     s.Requests,
+			Hits:         s.Hits,
+			Deduped:      s.Deduped,
+			Misses:       s.Misses,
+			Evictions:    s.Evictions,
+			CacheEntries: s.CacheEntries,
+		})
+		n := t.sink.Events()
+		if err := t.sink.Close(); err != nil {
+			firstErr = fmt.Errorf("trace: %w", err)
+		} else {
+			log.Printf("trace: %d events written", n)
+		}
+		t.sink = nil
+	}
+	if t.server != nil {
+		if err := t.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		t.server = nil
+	}
+	return firstErr
+}

@@ -14,6 +14,12 @@ import (
 	"xpscalar/internal/workload"
 )
 
+// CellFunc observes one completed matrix cell: the workload simulated, the
+// name of the workload whose customized architecture it ran on, the
+// instruction budget, and the achieved IPT. Cells complete in parallel, so
+// implementations must be safe for concurrent use.
+type CellFunc func(workload, arch string, budget int, ipt float64)
+
 // BuildMatrix evaluates every profile on every configuration for n
 // instructions each and returns the resulting cross-configuration IPT
 // matrix. configs[i] must be the customized architecture of profiles[i].
@@ -21,6 +27,12 @@ import (
 // engine, so cells already simulated by the exploration phase (and the
 // workload instruction streams) are reused rather than recomputed.
 func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
+	return BuildMatrixObserved(profiles, configs, n, t, nil)
+}
+
+// BuildMatrixObserved is BuildMatrix with a per-cell completion callback
+// (nil for none). The callback never affects the matrix.
+func BuildMatrixObserved(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params, cell CellFunc) (*Matrix, error) {
 	if len(profiles) == 0 || len(profiles) != len(configs) {
 		return nil, fmt.Errorf("core: %d profiles for %d configs", len(profiles), len(configs))
 	}
@@ -41,6 +53,9 @@ func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tec
 			return fmt.Errorf("core: %s on %s's arch: %w", profiles[w].Name, names[a], err)
 		}
 		ipt[w][a] = ev.Result.IPT()
+		if cell != nil {
+			cell(profiles[w].Name, names[a], n, ipt[w][a])
+		}
 		return nil
 	}); err != nil {
 		return nil, err

@@ -21,10 +21,12 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
 	"xpscalar/internal/workload"
 )
 
@@ -69,6 +71,84 @@ type Engine struct {
 	misses   atomic.Uint64
 	deduped  atomic.Uint64
 	evicted  atomic.Uint64
+
+	// Telemetry hooks, both nil by default: a latency histogram fed the
+	// wall time of every uncached simulation, and a per-request observer.
+	// Loaded once per Evaluate; the nil fast path costs two atomic loads
+	// and zero allocations.
+	simHist atomic.Pointer[telemetry.Histogram]
+	obs     atomic.Pointer[EvalObserver]
+}
+
+// EvalRecord describes one Evaluate call for an observer: how the request
+// was served and, for misses, how long the simulation ran.
+type EvalRecord struct {
+	Workload string
+	Budget   int
+	// Outcome is "hit" (served from a completed cache entry), "dedup"
+	// (joined an in-flight simulation) or "miss" (ran one).
+	Outcome string
+	// WallNs is the simulation wall time; zero except on misses.
+	WallNs int64
+	Score  float64
+	IPT    float64
+	Err    error
+}
+
+// EvalObserver receives one record per Evaluate call. Implementations must
+// be safe for concurrent use: every simulation fan-out calls into the
+// engine from pool workers.
+type EvalObserver interface {
+	ObserveEval(EvalRecord)
+}
+
+// SetEvalObserver installs (or, with nil, removes) the engine's per-request
+// observer.
+func (e *Engine) SetEvalObserver(o EvalObserver) {
+	if o == nil {
+		e.obs.Store(nil)
+		return
+	}
+	e.obs.Store(&o)
+}
+
+// EnableTelemetry registers the engine's counters, the cache-occupancy
+// gauges and the simulation-latency histogram with a metrics registry.
+// Counters are exported as scrape-time functions over the engine's existing
+// atomics, so enabling telemetry adds no hot-path cost; the histogram adds
+// one time.Now pair per uncached simulation. Safe to call more than once
+// with the same registry.
+func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
+	reg.Func("xpscalar_eval_requests_total", "evaluation requests", "counter",
+		func() float64 { return float64(e.requests.Load()) })
+	reg.Func("xpscalar_eval_cache_hits_total", "requests served from completed cache entries", "counter",
+		func() float64 { return float64(e.hits.Load()) })
+	reg.Func("xpscalar_eval_deduped_total", "requests that joined an in-flight simulation", "counter",
+		func() float64 { return float64(e.deduped.Load()) })
+	reg.Func("xpscalar_eval_misses_total", "requests that ran a simulation", "counter",
+		func() float64 { return float64(e.misses.Load()) })
+	reg.Func("xpscalar_eval_cache_evictions_total", "memo entries dropped by the LRU bound", "counter",
+		func() float64 { return float64(e.evicted.Load()) })
+	reg.Func("xpscalar_eval_cache_entries", "memoized evaluations currently cached", "gauge",
+		func() float64 { return float64(e.CacheEntries()) })
+	reg.Func("xpscalar_trace_instr_built_total", "instructions materialized by the trace store", "counter",
+		func() float64 { return float64(e.traces.built.Load()) })
+	reg.Func("xpscalar_trace_replays_total", "evaluations served from cached instruction streams", "counter",
+		func() float64 { return float64(e.traces.replays.Load()) })
+	reg.Func("xpscalar_trace_bypasses_total", "requests too large for the trace store", "counter",
+		func() float64 { return float64(e.traces.bypasses.Load()) })
+	reg.Func("xpscalar_trace_evictions_total", "profile streams evicted from the trace store", "counter",
+		func() float64 { return float64(e.traces.evictions.Load()) })
+	reg.Func("xpscalar_pool_maps_total", "Pool.Map fan-out calls", "counter",
+		func() float64 { return float64(e.pool.maps.Load()) })
+	reg.Func("xpscalar_pool_jobs_total", "jobs executed by the worker pool", "counter",
+		func() float64 { return float64(e.pool.jobs.Load()) })
+	reg.Func("xpscalar_pool_active_jobs", "jobs currently executing on the worker pool", "gauge",
+		func() float64 { return float64(e.pool.active.Load()) })
+	// Bounds from 100µs to ~1.6s: short-budget evaluations land in the low
+	// buckets, refinement-budget ones further up.
+	e.simHist.Store(reg.Histogram("xpscalar_sim_seconds",
+		"wall time of uncached simulations", telemetry.ExpBuckets(1e-4, 2, 15)))
 }
 
 // New constructs an engine with the given options.
@@ -162,6 +242,7 @@ func (e *Engine) shard(key string) *cacheShard {
 // goroutine is already simulating it.
 func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
 	e.requests.Add(1)
+	obs := e.obs.Load()
 	key := Fingerprint(cfg, p, budget, t, obj)
 	sh := e.shard(key)
 
@@ -170,12 +251,17 @@ func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech
 		sh.order.MoveToFront(el)
 		me := el.Value.(*memoEntry)
 		sh.mu.Unlock()
+		outcome := "hit"
 		select {
 		case <-me.ready:
 			e.hits.Add(1)
 		default:
 			e.deduped.Add(1)
+			outcome = "dedup"
 			<-me.ready
+		}
+		if obs != nil {
+			(*obs).ObserveEval(record(p.Name, budget, outcome, 0, me.val, me.err))
 		}
 		return me.val, me.err
 	}
@@ -190,9 +276,47 @@ func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech
 	sh.mu.Unlock()
 
 	e.misses.Add(1)
+	hist := e.simHist.Load()
+	var begin time.Time
+	if hist != nil || obs != nil {
+		begin = time.Now()
+	}
 	me.val, me.err = e.compute(cfg, p, budget, t, obj)
 	close(me.ready)
+	if hist != nil || obs != nil {
+		wall := time.Since(begin)
+		if hist != nil {
+			hist.Observe(wall.Seconds())
+		}
+		if obs != nil {
+			(*obs).ObserveEval(record(p.Name, budget, "miss", wall.Nanoseconds(), me.val, me.err))
+		}
+	}
 	return me.val, me.err
+}
+
+// record builds an observer record, guarding the derived IPT against the
+// zero Result an errored evaluation carries.
+func record(workload string, budget int, outcome string, wallNs int64, val Eval, err error) EvalRecord {
+	r := EvalRecord{Workload: workload, Budget: budget, Outcome: outcome, WallNs: wallNs, Err: err}
+	if err == nil {
+		r.Score = val.Score
+		r.IPT = val.Result.IPT()
+	}
+	return r
+}
+
+// CacheEntries reports how many memoized evaluations the cache currently
+// holds across all shards.
+func (e *Engine) CacheEntries() int {
+	total := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		total += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // compute runs one simulation, replaying the profile's cached instruction
@@ -220,8 +344,12 @@ type Stats struct {
 	// cache entries, Deduped joined an in-flight simulation, Misses ran
 	// one. Requests = Hits + Deduped + Misses.
 	Requests, Hits, Deduped, Misses uint64
-	// Evictions counts memo entries dropped by the LRU bound.
-	Evictions uint64
+	// Evictions counts memo entries dropped by the LRU bound;
+	// CacheEntries is the current occupancy. Together they make LRU
+	// pressure visible: evictions climbing while entries sit at the bound
+	// means the working set of design points no longer fits.
+	Evictions    uint64
+	CacheEntries uint64
 	// TraceInstr is the number of instructions materialized by the trace
 	// store; TraceReplays the evaluations served from cached streams;
 	// TraceBypasses the requests too large to cache; TraceEvictions the
@@ -242,8 +370,8 @@ func (s Stats) HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d trace: %d instr built, %d replays, %d bypasses",
-		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions,
+	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses",
+		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions, s.CacheEntries,
 		s.TraceInstr, s.TraceReplays, s.TraceBypasses)
 }
 
@@ -255,6 +383,7 @@ func (e *Engine) Stats() Stats {
 		Deduped:        e.deduped.Load(),
 		Misses:         e.misses.Load(),
 		Evictions:      e.evicted.Load(),
+		CacheEntries:   uint64(e.CacheEntries()),
 		TraceInstr:     e.traces.built.Load(),
 		TraceReplays:   e.traces.replays.Load(),
 		TraceBypasses:  e.traces.bypasses.Load(),

@@ -20,6 +20,26 @@ import (
 // deadlock waiting for its own pool's tokens).
 type Pool struct {
 	workers int
+
+	// Fan-out counters, always maintained (one atomic add per job, noise
+	// next to a simulation): Map calls, jobs executed, jobs in flight.
+	// Engine.EnableTelemetry exports them as scrape-time metrics.
+	maps   atomic.Uint64
+	jobs   atomic.Uint64
+	active atomic.Int64
+}
+
+// PoolStats snapshots the pool's fan-out counters.
+type PoolStats struct {
+	// Maps counts Map calls; Jobs the indexed jobs they executed; Active
+	// the jobs executing right now.
+	Maps, Jobs uint64
+	Active     int64
+}
+
+// Stats returns a snapshot of the fan-out counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Maps: p.maps.Load(), Jobs: p.jobs.Load(), Active: p.active.Load()}
 }
 
 // NewPool returns a pool running at most workers jobs concurrently per Map
@@ -41,6 +61,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	p.maps.Add(1)
 	w := p.workers
 	if w > n {
 		w = n
@@ -57,7 +78,10 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				p.jobs.Add(1)
+				p.active.Add(1)
 				errs[i] = fn(i)
+				p.active.Add(-1)
 			}
 		}()
 	}

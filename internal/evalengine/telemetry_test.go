@@ -1,0 +1,197 @@
+package evalengine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
+)
+
+// recordingEvalObserver collects every evaluation record; Evaluate is
+// called from pool workers, so it locks.
+type recordingEvalObserver struct {
+	mu      sync.Mutex
+	records []EvalRecord
+}
+
+func (r *recordingEvalObserver) ObserveEval(rec EvalRecord) {
+	r.mu.Lock()
+	r.records = append(r.records, rec)
+	r.mu.Unlock()
+}
+
+func (r *recordingEvalObserver) outcomes() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int)
+	for _, rec := range r.records {
+		out[rec.Outcome]++
+	}
+	return out
+}
+
+// An installed observer must see one record per Evaluate call with the
+// outcome the stats counters report, and detaching it must stop delivery.
+func TestEvalObserverOutcomes(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p := testProfile(7)
+	eng := New(Options{})
+	rec := &recordingEvalObserver{}
+	eng.SetEvalObserver(rec)
+
+	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+
+	got := rec.outcomes()
+	if got["miss"] != 1 || got["hit"] != 1 {
+		t.Fatalf("outcomes = %v, want 1 miss + 1 hit", got)
+	}
+	for _, r := range rec.records {
+		if r.Workload != p.Name || r.Budget != 5000 {
+			t.Errorf("record %+v: wrong workload/budget", r)
+		}
+		if r.Err != nil {
+			t.Errorf("record %+v: unexpected error", r)
+		}
+		if r.Outcome == "miss" && r.WallNs <= 0 {
+			t.Errorf("miss record has wall time %d", r.WallNs)
+		}
+		if r.Outcome == "hit" && r.WallNs != 0 {
+			t.Errorf("hit record has wall time %d", r.WallNs)
+		}
+		if r.IPT <= 0 || r.Score <= 0 {
+			t.Errorf("record %+v: non-positive score", r)
+		}
+	}
+
+	eng.SetEvalObserver(nil)
+	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.outcomes()); n != 2 {
+		t.Errorf("detached observer still received records (total %d)", n)
+	}
+}
+
+// Failed evaluations reach the observer with the error and without scores
+// (a zero Result would yield NaN, which is unencodable as JSON downstream).
+func TestEvalObserverError(t *testing.T) {
+	tp := tech.Default()
+	p := testProfile(9)
+	eng := New(Options{})
+	rec := &recordingEvalObserver{}
+	eng.SetEvalObserver(rec)
+
+	if _, err := eng.Evaluate(sim.Config{}, p, 5000, tp, power.ObjIPT); err == nil {
+		t.Fatal("zero config evaluated without error")
+	}
+	if len(rec.records) != 1 {
+		t.Fatalf("got %d records, want 1", len(rec.records))
+	}
+	r := rec.records[0]
+	if r.Err == nil {
+		t.Error("record is missing the evaluation error")
+	}
+	if r.Score != 0 || r.IPT != 0 {
+		t.Errorf("failed record carries scores: %+v", r)
+	}
+}
+
+// CacheEntries must track live occupancy across inserts and evictions,
+// both via the method and the Stats snapshot.
+func TestCacheEntriesTracksOccupancy(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p := testProfile(5)
+	eng := New(Options{CacheEntries: 4, Shards: 1})
+
+	if got := eng.CacheEntries(); got != 0 {
+		t.Fatalf("fresh engine has %d entries", got)
+	}
+	for n := 1000; n < 1003; n++ {
+		if _, err := eng.Evaluate(cfg, p, n, tp, power.ObjIPT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CacheEntries(); got != 3 {
+		t.Fatalf("entries = %d, want 3", got)
+	}
+	for n := 1003; n < 1010; n++ {
+		if _, err := eng.Evaluate(cfg, p, n, tp, power.ObjIPT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CacheEntries(); got != 4 {
+		t.Fatalf("entries = %d, want capacity 4", got)
+	}
+	s := eng.Stats()
+	if s.CacheEntries != 4 {
+		t.Fatalf("Stats().CacheEntries = %d, want 4", s.CacheEntries)
+	}
+	if !strings.Contains(s.String(), "entries=4") {
+		t.Errorf("Stats().String() missing entry count: %s", s)
+	}
+}
+
+// EnableTelemetry exports the engine's counters as scrape-time metrics;
+// the rendered Prometheus text must reflect activity that happened both
+// before and after registration.
+func TestEnableTelemetryExportsCounters(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p := testProfile(13)
+	eng := New(Options{})
+
+	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng.EnableTelemetry(reg)
+	// A fresh point after registration lands in the sim-latency histogram;
+	// a repeat shows up as a hit.
+	if _, err := eng.Evaluate(cfg, p, 6000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Evaluate(cfg, p, 6000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"xpscalar_eval_requests_total 3",
+		"xpscalar_eval_cache_hits_total 1",
+		"xpscalar_eval_misses_total 2",
+		"xpscalar_eval_cache_entries 2",
+		"xpscalar_sim_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The no-op default must not allocate on the hot path: the observer and
+// histogram loads are pointer checks only.
+func TestNoObserverZeroAllocOverhead(t *testing.T) {
+	eng := New(Options{})
+	if n := testing.AllocsPerRun(1000, func() {
+		if eng.obs.Load() != nil || eng.simHist.Load() != nil {
+			t.Fatal("telemetry unexpectedly enabled")
+		}
+	}); n != 0 {
+		t.Errorf("nil telemetry check allocates %v per run, want 0", n)
+	}
+}

@@ -57,6 +57,11 @@ type Options struct {
 	// effectively diminish the true performance potential of
 	// customization"). For the ablation only.
 	FixedClockNs float64
+	// Observer, when non-nil, receives every annealing step and chain
+	// completion (search introspection; see observer.go). It never
+	// affects the search: no randomness is consumed and no decision
+	// depends on it, so outcomes are identical with or without one.
+	Observer Observer
 }
 
 // DefaultOptions returns a budget suitable for tests and examples: small
@@ -130,7 +135,7 @@ func Workload(p workload.Profile, opt Options) (Outcome, error) {
 	results := make([]chainResult, opt.Chains)
 	pool := evalengine.Default().Pool()
 	_ = pool.Map(opt.Chains, func(ci int) error {
-		out, err := runChain(p, opt, opt.Seed+int64(ci)*7919)
+		out, err := runChain(p, opt, opt.Seed+int64(ci)*7919, ci)
 		results[ci] = chainResult{out, err}
 		return nil
 	})
@@ -237,8 +242,8 @@ func (pt point) fit(t tech.Params) (sim.Config, bool) {
 }
 
 // neighbor produces a random move from the point, following the paper's
-// move classes.
-func neighbor(pt point, rng *rand.Rand) point {
+// move classes, and names the class taken (for search introspection).
+func neighbor(pt point, rng *rand.Rand) (point, string) {
 	n := pt
 	switch rng.Intn(6) {
 	case 0: // vary the clock period; everything re-fits
@@ -249,25 +254,30 @@ func neighbor(pt point, rng *rand.Rand) point {
 			factor = 0.6 + rng.Float64()*0.9
 		}
 		n.clock = math.Max(0.08, math.Min(0.6, pt.clock*factor))
+		return n, "clock"
 	case 1: // vary scheduler depth
 		n.schedDepth = bump(pt.schedDepth, rng, 1, 5)
+		return n, "sched-depth"
 	case 2: // vary LSQ depth
 		n.lsqDepth = bump(pt.lsqDepth, rng, 1, 4)
+		return n, "lsq-depth"
 	case 3: // vary L1 stage count
 		n.l1Lat = bump(pt.l1Lat, rng, 1, 8)
 		n.l1Geom = timing.CacheGeom{} // re-fit
+		return n, "l1-stages"
 	case 4: // vary L2 stage count
 		n.l2Lat = bump(pt.l2Lat, rng, 2, 30)
 		n.l2Geom = timing.CacheGeom{}
-	case 5: // vary machine width
+		return n, "l2-stages"
+	default: // vary machine width
 		n.width = bump(pt.width, rng, 1, 8)
+		return n, "width"
 	}
-	return n
 }
 
 // geometryMove re-picks a cache geometry among those that fit the current
 // budget, exploring associativity/block-size tradeoffs at fixed latency.
-func geometryMove(pt point, rng *rand.Rand, t tech.Params) point {
+func geometryMove(pt point, rng *rand.Rand, t tech.Params) (point, string) {
 	n := pt
 	if rng.Intn(2) == 0 {
 		cands := timing.CacheCandidates(timing.BudgetNs(pt.clock, pt.l1Lat, t), 1, t)
@@ -276,13 +286,13 @@ func geometryMove(pt point, rng *rand.Rand, t tech.Params) point {
 			// are rarely interesting.
 			n.l1Geom = cands[len(cands)/2+rng.Intn((len(cands)+1)/2)]
 		}
-	} else {
-		cands := timing.CacheCandidates(timing.BudgetNs(pt.clock, pt.l2Lat, t), 2, t)
-		if len(cands) > 0 {
-			n.l2Geom = cands[len(cands)/2+rng.Intn((len(cands)+1)/2)]
-		}
+		return n, "l1-geom"
 	}
-	return n
+	cands := timing.CacheCandidates(timing.BudgetNs(pt.clock, pt.l2Lat, t), 2, t)
+	if len(cands) > 0 {
+		n.l2Geom = cands[len(cands)/2+rng.Intn((len(cands)+1)/2)]
+	}
+	return n, "l2-geom"
 }
 
 func bump(v int, rng *rand.Rand, lo, hi int) int {
@@ -300,17 +310,19 @@ func bump(v int, rng *rand.Rand, lo, hi int) int {
 	return v
 }
 
-func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
+func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	t := opt.Tech
 	eng := evalengine.Default()
 
-	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
-		budget := opt.ShortBudget
+	budgetAt := func(iter int) int {
 		if iter > opt.Iterations*3/5 {
-			budget = opt.LongBudget
+			return opt.LongBudget
 		}
-		ev, err := eng.Evaluate(cfg, p, budget, t, opt.Objective)
+		return opt.ShortBudget
+	}
+	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
+		ev, err := eng.Evaluate(cfg, p, budgetAt(iter), t, opt.Objective)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -347,16 +359,22 @@ func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
 	temp := opt.InitTemp * curScore
 	for i := 1; i <= opt.Iterations; i++ {
 		var cand point
+		var move string
 		if rng.Intn(4) == 0 {
-			cand = geometryMove(cur, rng, t)
+			cand, move = geometryMove(cur, rng, t)
 		} else {
-			cand = neighbor(cur, rng)
+			cand, move = neighbor(cur, rng)
 		}
 		if opt.FixedClockNs > 0 {
 			cand.clock = opt.FixedClockNs
 		}
 		candCfg, ok := cand.fit(t)
 		if !ok {
+			observeStep(opt.Observer, StepEvent{
+				Workload: p.Name, Chain: chain, Iteration: i,
+				TotalIterations: opt.Iterations, Move: move, Temperature: temp,
+				CurrentScore: curScore, BestScore: bestScore,
+			})
 			temp *= opt.CoolRate
 			continue
 		}
@@ -387,6 +405,13 @@ func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
 				Accepted: accepted, RolledBack: rolledBack,
 			})
 		}
+		observeStep(opt.Observer, StepEvent{
+			Workload: p.Name, Chain: chain, Iteration: i,
+			TotalIterations: opt.Iterations, Move: move, Temperature: temp,
+			Budget: budgetAt(i), Score: candScore, CurrentScore: curScore,
+			BestScore: bestScore, Feasible: true, Accepted: accepted,
+			RolledBack: rolledBack,
+		})
 		temp *= opt.CoolRate
 	}
 
@@ -404,6 +429,10 @@ func runChain(p workload.Profile, opt Options, seed int64) (Outcome, error) {
 	out.Best = bestCfg
 	out.BestIPT = ev.Result.IPT()
 	out.BestScore = ev.Score
+	observeChain(opt.Observer, ChainEvent{
+		Workload: p.Name, Chain: chain, BestScore: out.BestScore,
+		BestIPT: out.BestIPT, Evaluations: out.Evaluations,
+	})
 	return out, nil
 }
 
@@ -505,9 +534,9 @@ func RandomConfigs(n int, seed int64, t tech.Params) []sim.Config {
 	pt := initialPoint()
 	for attempts := 0; len(out) < n && attempts < n*200; attempts++ {
 		if rng.Intn(4) == 0 {
-			pt = geometryMove(pt, rng, t)
+			pt, _ = geometryMove(pt, rng, t)
 		} else {
-			pt = neighbor(pt, rng)
+			pt, _ = neighbor(pt, rng)
 		}
 		cfg, ok := pt.fit(t)
 		if !ok {

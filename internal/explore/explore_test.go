@@ -75,7 +75,7 @@ func TestFitProducesValidConfigs(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		pt := initialPoint()
 		for i := 0; i < 12; i++ {
-			pt = neighbor(pt, rng)
+			pt, _ = neighbor(pt, rng)
 		}
 		cfg, ok := pt.fit(tp)
 		if !ok {
@@ -92,7 +92,7 @@ func TestNeighborStaysInBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pt := initialPoint()
 	for i := 0; i < 2000; i++ {
-		pt = neighbor(pt, rng)
+		pt, _ = neighbor(pt, rng)
 		if pt.clock < 0.08 || pt.clock > 0.6 {
 			t.Fatalf("clock %v escaped bounds", pt.clock)
 		}
@@ -287,7 +287,7 @@ func BenchmarkAnnealStep(b *testing.B) {
 	pt := initialPoint()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cand := neighbor(pt, rng)
+		cand, _ := neighbor(pt, rng)
 		cfg, ok := cand.fit(tp)
 		if !ok {
 			continue

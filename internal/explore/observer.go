@@ -1,0 +1,87 @@
+// Search introspection. The annealer itself stays log-free and import-free:
+// callers that want to watch the search inject an Observer through
+// Options, and the chain loop reports every iteration and chain completion
+// through it. The nil default costs one pointer comparison per iteration
+// and zero allocations (benchmarked in observer_test.go), so instrumenting
+// the hot path is free when nobody is watching.
+
+package explore
+
+// StepEvent describes one annealing iteration of one chain: the move class
+// tried, the temperature, the candidate's score against the current and
+// best scores, and the accept/reject/rollback outcome. Infeasible moves
+// (points no configuration fits) are reported with Feasible false and no
+// scores.
+type StepEvent struct {
+	Workload string
+	Chain    int
+	// Iteration runs 1..TotalIterations.
+	Iteration       int
+	TotalIterations int
+	// Move is the move class: "clock", "sched-depth", "lsq-depth",
+	// "l1-stages", "l2-stages", "width", "l1-geom" or "l2-geom".
+	Move        string
+	Temperature float64
+	// Budget is the instruction budget the candidate was evaluated at.
+	Budget int
+	// Score is the candidate's objective value; CurrentScore and
+	// BestScore are the chain's state after the step.
+	Score        float64
+	CurrentScore float64
+	BestScore    float64
+	Feasible     bool
+	Accepted     bool
+	RolledBack   bool
+}
+
+// ChainEvent closes one annealing chain.
+type ChainEvent struct {
+	Workload    string
+	Chain       int
+	BestScore   float64
+	BestIPT     float64
+	Evaluations int
+}
+
+// Observer receives search-trajectory events. Chains run in parallel, so
+// implementations must be safe for concurrent use. Observers must not
+// block: the chain loop calls them inline.
+type Observer interface {
+	ObserveStep(StepEvent)
+	ObserveChain(ChainEvent)
+}
+
+// observeStep dispatches a step event if an observer is installed. Kept as
+// a function so the nil guard and the dispatch cost are benchmarkable in
+// isolation; it must stay allocation-free for any observer that does not
+// retain the event.
+func observeStep(o Observer, e StepEvent) {
+	if o != nil {
+		o.ObserveStep(e)
+	}
+}
+
+// observeChain dispatches a chain-completion event if an observer is
+// installed.
+func observeChain(o Observer, e ChainEvent) {
+	if o != nil {
+		o.ObserveChain(e)
+	}
+}
+
+// MultiObserver fans events out to several observers in order.
+type MultiObserver []Observer
+
+// ObserveStep implements Observer.
+func (m MultiObserver) ObserveStep(e StepEvent) {
+	for _, o := range m {
+		o.ObserveStep(e)
+	}
+}
+
+// ObserveChain implements Observer.
+func (m MultiObserver) ObserveChain(e ChainEvent) {
+	for _, o := range m {
+		o.ObserveChain(e)
+	}
+}

@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"sync"
+	"testing"
+
+	"xpscalar/internal/workload"
+)
+
+// recordingObserver collects every event; chains run in parallel, so it
+// locks.
+type recordingObserver struct {
+	mu     sync.Mutex
+	steps  []StepEvent
+	chains []ChainEvent
+}
+
+func (r *recordingObserver) ObserveStep(e StepEvent) {
+	r.mu.Lock()
+	r.steps = append(r.steps, e)
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) ObserveChain(e ChainEvent) {
+	r.mu.Lock()
+	r.chains = append(r.chains, e)
+	r.mu.Unlock()
+}
+
+// An observed exploration must report every iteration of every chain, each
+// chain's completion — and produce exactly the outcome an unobserved run
+// does: observation never perturbs the search.
+func TestObserverSeesEveryStepAndChain(t *testing.T) {
+	p, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("no gzip profile")
+	}
+
+	opt := tinyOptions(3)
+	base, err := Workload(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &recordingObserver{}
+	opt.Observer = rec
+	out, err := Workload(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if out.BestIPT != base.BestIPT || out.Best != base.Best || out.Evaluations != base.Evaluations {
+		t.Errorf("observed run diverged: got IPT %v evals %d, want IPT %v evals %d",
+			out.BestIPT, out.Evaluations, base.BestIPT, base.Evaluations)
+	}
+
+	if len(rec.chains) != opt.Chains {
+		t.Fatalf("got %d chain events, want %d", len(rec.chains), opt.Chains)
+	}
+	perChain := make(map[int]int)
+	for _, e := range rec.steps {
+		if e.Workload != p.Name {
+			t.Fatalf("step event for workload %q", e.Workload)
+		}
+		if e.TotalIterations != opt.Iterations {
+			t.Fatalf("step event TotalIterations = %d, want %d", e.TotalIterations, opt.Iterations)
+		}
+		if e.Move == "" {
+			t.Fatal("step event with empty move class")
+		}
+		if e.Iteration < 1 || e.Iteration > opt.Iterations {
+			t.Fatalf("step event iteration %d out of range", e.Iteration)
+		}
+		perChain[e.Chain]++
+	}
+	for c := 0; c < opt.Chains; c++ {
+		if perChain[c] != opt.Iterations {
+			t.Errorf("chain %d reported %d steps, want %d", c, perChain[c], opt.Iterations)
+		}
+	}
+	for _, e := range rec.chains {
+		if e.Workload != p.Name {
+			t.Errorf("chain event for workload %q", e.Workload)
+		}
+		if e.BestScore < base.BestScore-1e-9 && e.BestScore > base.BestScore+1e-9 {
+			continue // per-chain bests legitimately differ; only sanity-check presence
+		}
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := &recordingObserver{}, &recordingObserver{}
+	m := MultiObserver{a, b}
+	m.ObserveStep(StepEvent{Workload: "w", Iteration: 1})
+	m.ObserveChain(ChainEvent{Workload: "w", Chain: 2})
+	for i, r := range []*recordingObserver{a, b} {
+		if len(r.steps) != 1 || len(r.chains) != 1 {
+			t.Errorf("observer %d got %d steps, %d chains", i, len(r.steps), len(r.chains))
+		}
+	}
+}
+
+// The nil default must cost nothing on the annealing hot path: no
+// allocations for the dispatch or the event value.
+func TestNoopObserverZeroAllocs(t *testing.T) {
+	e := StepEvent{Workload: "gzip", Chain: 1, Iteration: 7, Move: "clock", Score: 1.2}
+	c := ChainEvent{Workload: "gzip", Chain: 1, BestScore: 1.3}
+	if n := testing.AllocsPerRun(1000, func() {
+		observeStep(nil, e)
+		observeChain(nil, c)
+	}); n != 0 {
+		t.Errorf("no-op observer dispatch allocates %v per run, want 0", n)
+	}
+}
+
+// A value-receiver observer that does not retain the event must also stay
+// allocation-free: the events are value structs and interface dispatch of
+// them must not box on this path.
+type countingObserver struct{ steps, chains *int }
+
+func (c countingObserver) ObserveStep(StepEvent)   { *c.steps++ }
+func (c countingObserver) ObserveChain(ChainEvent) { *c.chains++ }
+
+func BenchmarkNoopObserver(b *testing.B) {
+	e := StepEvent{Workload: "gzip", Chain: 1, Iteration: 7, Move: "clock", Score: 1.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		observeStep(nil, e)
+	}
+}
+
+func BenchmarkCountingObserver(b *testing.B) {
+	var steps, chains int
+	o := Observer(countingObserver{&steps, &chains})
+	e := StepEvent{Workload: "gzip", Chain: 1, Iteration: 7, Move: "clock", Score: 1.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		observeStep(o, e)
+	}
+}

@@ -1,0 +1,253 @@
+// The structured run trace. A run started with -trace appends one JSON
+// object per line to a file: a manifest describing the run, then events as
+// the search and evaluation layers produce them — annealing steps per
+// chain, evaluation records from the engine, matrix-cell completions, and a
+// closing summary. Every line is an envelope {event, seq, t_ns, data}: the
+// sequence number is a total order over the run (emission order under one
+// mutex), t_ns is nanoseconds since the sink was opened, and data is the
+// typed payload selected by the event name. The format is append-only JSONL
+// so partial files from interrupted runs stay parseable line by line.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one typed trace event. Kind names the event in the envelope and
+// selects the payload type on decode.
+type Event interface {
+	Kind() string
+}
+
+// RunManifest opens every trace: what ran, with which knobs, on what build.
+type RunManifest struct {
+	Tool      string             `json:"tool"`
+	Seed      int64              `json:"seed"`
+	GoVersion string             `json:"go_version"`
+	OS        string             `json:"os"`
+	Arch      string             `json:"arch"`
+	MaxProcs  int                `json:"max_procs"`
+	Module    string             `json:"module,omitempty"`
+	Flags     map[string]string  `json:"flags,omitempty"`
+	Tech      map[string]float64 `json:"tech,omitempty"`
+}
+
+// Kind implements Event.
+func (RunManifest) Kind() string { return "manifest" }
+
+// AnnealStep is one iteration of one annealing chain: the move tried, the
+// scores before and after, and the accept/reject/rollback outcome — the
+// paper's §3 search trajectory, made observable.
+type AnnealStep struct {
+	Workload        string  `json:"workload"`
+	Chain           int     `json:"chain"`
+	Iteration       int     `json:"iteration"`
+	TotalIterations int     `json:"total_iterations"`
+	Move            string  `json:"move"`
+	Temperature     float64 `json:"temperature"`
+	Budget          int     `json:"budget"`
+	Score           float64 `json:"score"`
+	CurrentScore    float64 `json:"current_score"`
+	BestScore       float64 `json:"best_score"`
+	Feasible        bool    `json:"feasible"`
+	Accepted        bool    `json:"accepted"`
+	RolledBack      bool    `json:"rolled_back"`
+}
+
+// Kind implements Event.
+func (AnnealStep) Kind() string { return "anneal_step" }
+
+// ChainResult closes one annealing chain.
+type ChainResult struct {
+	Workload    string  `json:"workload"`
+	Chain       int     `json:"chain"`
+	BestScore   float64 `json:"best_score"`
+	BestIPT     float64 `json:"best_ipt"`
+	Evaluations int     `json:"evaluations"`
+}
+
+// Kind implements Event.
+func (ChainResult) Kind() string { return "chain_result" }
+
+// Evaluation is one request against the evaluation engine: whether it was
+// served from cache, joined an in-flight simulation, or ran one (and then,
+// how long the simulation took).
+type Evaluation struct {
+	Workload string  `json:"workload"`
+	Budget   int     `json:"budget"`
+	Outcome  string  `json:"outcome"` // "hit", "dedup" or "miss"
+	WallNs   int64   `json:"wall_ns,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+	IPT      float64 `json:"ipt,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Kind implements Event.
+func (Evaluation) Kind() string { return "evaluation" }
+
+// MatrixCell is one completed cell of a cross-configuration matrix build.
+type MatrixCell struct {
+	Workload string  `json:"workload"`
+	Arch     string  `json:"arch"`
+	Budget   int     `json:"budget"`
+	IPT      float64 `json:"ipt"`
+}
+
+// Kind implements Event.
+func (MatrixCell) Kind() string { return "matrix_cell" }
+
+// RunSummary closes every trace: wall time plus the engine's counters.
+type RunSummary struct {
+	WallNs       int64  `json:"wall_ns"`
+	Requests     uint64 `json:"requests"`
+	Hits         uint64 `json:"hits"`
+	Deduped      uint64 `json:"deduped"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	CacheEntries uint64 `json:"cache_entries"`
+}
+
+// Kind implements Event.
+func (RunSummary) Kind() string { return "summary" }
+
+// Envelope is the wire form of one trace line.
+type Envelope struct {
+	Event string          `json:"event"`
+	Seq   uint64          `json:"seq"`
+	TNs   int64           `json:"t_ns"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// Decode unmarshals the envelope's payload into its typed event.
+func (e Envelope) Decode() (Event, error) {
+	var out Event
+	switch e.Event {
+	case "manifest":
+		out = &RunManifest{}
+	case "anneal_step":
+		out = &AnnealStep{}
+	case "chain_result":
+		out = &ChainResult{}
+	case "evaluation":
+		out = &Evaluation{}
+	case "matrix_cell":
+		out = &MatrixCell{}
+	case "summary":
+		out = &RunSummary{}
+	default:
+		return nil, fmt.Errorf("telemetry: unknown event kind %q", e.Event)
+	}
+	if err := json.Unmarshal(e.Data, out); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding %s event: %w", e.Event, err)
+	}
+	return out, nil
+}
+
+// Sink appends trace events to one writer, JSONL-encoded, under a mutex. A
+// nil *Sink is a valid no-op sink, so instrumented code never needs to
+// guard emission; errors are sticky and reported by Close.
+type Sink struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	c     io.Closer
+	seq   uint64
+	start time.Time
+	err   error
+}
+
+// NewSink wraps a writer. If w also implements io.Closer, Close closes it.
+func NewSink(w io.Writer) *Sink {
+	s := &Sink{bw: bufio.NewWriter(w), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// OpenSink creates (truncating) the trace file at path.
+func OpenSink(path string) (*Sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: trace file: %w", err)
+	}
+	return NewSink(f), nil
+}
+
+// Emit appends one event. Safe for concurrent use and on a nil sink.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.err = fmt.Errorf("telemetry: encoding %s event: %w", e.Kind(), err)
+		return
+	}
+	env := Envelope{Event: e.Kind(), Seq: s.seq, TNs: time.Since(s.start).Nanoseconds(), Data: data}
+	line, err := json.Marshal(env)
+	if err != nil {
+		s.err = fmt.Errorf("telemetry: encoding %s envelope: %w", e.Kind(), err)
+		return
+	}
+	s.seq++
+	line = append(line, '\n')
+	if _, err := s.bw.Write(line); err != nil {
+		s.err = err
+	}
+}
+
+// Events returns how many events have been emitted.
+func (s *Sink) Events() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Close flushes and closes the sink, returning the first error seen.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// ReadEvents parses a JSONL trace back into envelopes, in file order.
+func ReadEvents(r io.Reader) ([]Envelope, error) {
+	var out []Envelope
+	dec := json.NewDecoder(r)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, env)
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A trace written through the sink must read back as the same events in
+// emission order — the JSONL round-trip every trace consumer relies on.
+func TestSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	emitted := []Event{
+		RunManifest{Tool: "xpscalar", Seed: 42, GoVersion: "go1.24", Flags: map[string]string{"chains": "4"}},
+		AnnealStep{Workload: "gzip", Chain: 1, Iteration: 7, TotalIterations: 300, Move: "clock",
+			Temperature: 0.8, Budget: 20000, Score: 1.2, CurrentScore: 1.2, BestScore: 1.3,
+			Feasible: true, Accepted: true},
+		Evaluation{Workload: "gzip", Budget: 20000, Outcome: "miss", WallNs: 1234567, Score: 1.2, IPT: 1.2},
+		MatrixCell{Workload: "gzip", Arch: "vpr", Budget: 60000, IPT: 0.97},
+		ChainResult{Workload: "gzip", Chain: 1, BestScore: 1.3, BestIPT: 1.3, Evaluations: 301},
+		RunSummary{WallNs: 5e9, Requests: 100, Hits: 40, Deduped: 10, Misses: 50, CacheEntries: 50},
+	}
+	for _, e := range emitted {
+		s.Emit(e)
+	}
+	if got := s.Events(); got != uint64(len(emitted)) {
+		t.Errorf("Events() = %d, want %d", got, len(emitted))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	envs, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != len(emitted) {
+		t.Fatalf("read %d events, want %d", len(envs), len(emitted))
+	}
+	for i, env := range envs {
+		if env.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, env.Seq)
+		}
+		if env.Event != emitted[i].Kind() {
+			t.Errorf("event %d kind = %q, want %q", i, env.Event, emitted[i].Kind())
+		}
+		decoded, err := env.Decode()
+		if err != nil {
+			t.Fatalf("decoding event %d: %v", i, err)
+		}
+		switch want := emitted[i].(type) {
+		case AnnealStep:
+			got := *decoded.(*AnnealStep)
+			if got != want {
+				t.Errorf("anneal step round-trip: got %+v, want %+v", got, want)
+			}
+		case Evaluation:
+			got := *decoded.(*Evaluation)
+			if got != want {
+				t.Errorf("evaluation round-trip: got %+v, want %+v", got, want)
+			}
+		case MatrixCell:
+			got := *decoded.(*MatrixCell)
+			if got != want {
+				t.Errorf("matrix cell round-trip: got %+v, want %+v", got, want)
+			}
+		case ChainResult:
+			got := *decoded.(*ChainResult)
+			if got != want {
+				t.Errorf("chain result round-trip: got %+v, want %+v", got, want)
+			}
+		case RunSummary:
+			got := *decoded.(*RunSummary)
+			if got != want {
+				t.Errorf("summary round-trip: got %+v, want %+v", got, want)
+			}
+		case RunManifest:
+			got := decoded.(*RunManifest)
+			if got.Tool != want.Tool || got.Seed != want.Seed || got.Flags["chains"] != "4" {
+				t.Errorf("manifest round-trip: got %+v, want %+v", got, want)
+			}
+		}
+	}
+}
+
+// Chains and pool workers emit concurrently; every event must land as one
+// whole line with a unique sequence number.
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Emit(Evaluation{Workload: "w", Budget: w*1000 + i, Outcome: "hit"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != workers*perWorker {
+		t.Fatalf("read %d events, want %d", len(envs), workers*perWorker)
+	}
+	seen := make(map[uint64]bool)
+	for _, env := range envs {
+		if seen[env.Seq] {
+			t.Fatalf("duplicate seq %d", env.Seq)
+		}
+		seen[env.Seq] = true
+	}
+}
+
+func TestNilSinkIsInert(t *testing.T) {
+	var s *Sink
+	s.Emit(RunSummary{}) // must not panic
+	if got := s.Events(); got != 0 {
+		t.Errorf("nil sink Events() = %d", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil sink Close() = %v", err)
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	env := Envelope{Event: "no_such_event", Data: []byte("{}")}
+	if _, err := env.Decode(); err == nil {
+		t.Error("decoding an unknown kind did not fail")
+	}
+}
+
+func TestReadEventsBadLine(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"event\":\"summary\",\"seq\":0,\"t_ns\":0,\"data\":{}}\nnot json\n"))
+	if err == nil {
+		t.Error("malformed trace line did not fail")
+	}
+}

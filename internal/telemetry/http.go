@@ -1,0 +1,65 @@
+// The live metrics endpoint. A run started with -metrics-addr serves its
+// registry over HTTP while it executes: /metrics in the Prometheus text
+// format (scrapeable by a stock Prometheus), /metrics.json as one JSON
+// object (curl-and-jq friendly, expvar style). The server binds eagerly so
+// a bad address fails the run at startup, then serves in the background.
+
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is a live metrics endpoint bound to one registry.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text at
+// /metrics, JSON at /metrics.json, and a small index at /.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "xpscalar telemetry\n\n/metrics       Prometheus text format\n/metrics.json  JSON\n")
+	})
+	return mux
+}
+
+// ListenAndServe binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// registry in a background goroutine until Close.
+func ListenAndServe(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics endpoint: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, useful when the requested port was 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The live endpoint must serve non-empty Prometheus text and parseable
+// JSON while the process runs.
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xp_requests_total", "requests").Add(3)
+	r.Histogram("xp_latency_seconds", "", []float64{0.1, 1}).Observe(0.5)
+
+	srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	if !strings.Contains(text, "xp_requests_total 3") {
+		t.Errorf("/metrics missing counter sample:\n%s", text)
+	}
+	if !strings.Contains(text, `xp_latency_seconds_bucket{le="1"} 1`) {
+		t.Errorf("/metrics missing histogram bucket:\n%s", text)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&decoded)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := decoded["xp_requests_total"].(float64); !ok || got != 3 {
+		t.Errorf("/metrics.json xp_requests_total = %v", decoded["xp_requests_total"])
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	if _, err := ListenAndServe("256.256.256.256:0", NewRegistry()); err == nil {
+		t.Error("binding an invalid address did not fail")
+	}
+}
+
+func TestServerCloseNil(t *testing.T) {
+	var s *Server
+	if err := s.Close(); err != nil {
+		t.Errorf("nil server Close() = %v", err)
+	}
+}
