@@ -5,11 +5,10 @@
 package xpscalar
 
 import (
+	"context"
 	"testing"
 
 	"xpscalar/internal/cli"
-	"xpscalar/internal/evalengine"
-	"xpscalar/internal/explore"
 	"xpscalar/internal/subsetting"
 	"xpscalar/internal/telemetry"
 )
@@ -89,10 +88,10 @@ func BenchmarkTable4Exploration(b *testing.B) {
 	// A private registry captures the sim-latency histogram for this run
 	// without touching the process-wide default.
 	reg := telemetry.NewRegistry()
-	evalengine.Default().EnableTelemetry(reg)
+	DefaultSession().EnableTelemetry(reg)
 	var last Outcome
 	for i := 0; i < b.N; i++ {
-		out, err := Explore(gzip, opt)
+		out, err := Explore(context.Background(), gzip, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +120,7 @@ func BenchmarkTable5CrossConfig(b *testing.B) {
 	opt.Chains = 1
 	opt.ShortBudget = 4000
 	opt.LongBudget = 8000
-	outs, err := explore.Suite(profiles, opt)
+	outs, err := ExploreSuite(context.Background(), profiles, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -135,7 +134,7 @@ func BenchmarkTable5CrossConfig(b *testing.B) {
 	ResetEngineStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CrossMatrix(profiles, configs, 10_000, t); err != nil {
+		if _, err := CrossMatrix(context.Background(), profiles, configs, 10_000, t); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +296,7 @@ func BenchmarkSection55Multithread(b *testing.B) {
 	var turn float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		met, err := MTSimulate(sys, arr, NextBestAvailable)
+		met, err := MTSimulate(context.Background(), sys, arr, NextBestAvailable)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -369,6 +368,29 @@ func BenchmarkAblationWakeupLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnealLoopCtxCheck pins the cost of the per-iteration
+// cancellation point the annealing inner loop now pays: one ctx.Err() call
+// on a live (uncancelled) cancellable context. It reports the per-check
+// cost as cancelNs and enforces the guard the refactor promised — the
+// check adds zero allocations per iteration, so the hot loop's
+// allocation-free property survives cancellation-first plumbing.
+func BenchmarkAnnealLoopCtxCheck(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "cancelNs")
+	if n := testing.AllocsPerRun(1000, func() { _ = ctx.Err() }); n != 0 {
+		b.Fatalf("ctx.Err() allocates %v per call on the annealing hot path, want 0", n)
+	}
+}
+
 // paperConfigVectors flattens the published Table 4 configurations into
 // clustering feature vectors.
 func paperConfigVectors() [][]float64 {
@@ -412,7 +434,7 @@ func BenchmarkAblationFixedClock(b *testing.B) {
 			opt.FixedClockNs = fixed
 			var ipt float64
 			for i := 0; i < b.N; i++ {
-				out, err := Explore(prof, opt)
+				out, err := Explore(context.Background(), prof, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,17 +23,16 @@ import (
 	"xpscalar/internal/cli"
 	"xpscalar/internal/core"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("combos: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		source      = flag.String("source", "paper", "matrix source: paper or sim")
 		maxK        = flag.Int("maxk", 4, "largest core count to search")
@@ -40,11 +40,17 @@ func run() error {
 		summary     = flag.Bool("summary", false, "print the dual-core summary (Table 7)")
 		weightsFlag = flag.String("weights", "", "comma-separated importance weights, one per benchmark")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
 
-	tel, err := cli.StartTelemetry("combos", tcfg)
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("combos", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -56,7 +62,8 @@ func run() error {
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel
-	m, err := cli.LoadMatrix(*source, mo)
+	mo.Session = sess
+	m, err := cli.LoadMatrix(ctx, *source, mo)
 	if err != nil {
 		return err
 	}

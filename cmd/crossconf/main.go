@@ -7,7 +7,7 @@
 // Usage:
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
-//	          [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	          [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // Matrices go to stdout; diagnostics go to stderr. With -source sim, -trace
@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,20 +24,18 @@ import (
 
 	"xpscalar/internal/cli"
 	"xpscalar/internal/core"
-	"xpscalar/internal/evalengine"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 	"xpscalar/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crossconf: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		source     = flag.String("source", "paper", "matrix source: paper (published Table 5) or sim (regenerate)")
 		slowdown   = flag.Bool("slowdown", false, "print the Appendix A percentage-slowdown matrix")
@@ -49,9 +48,14 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
+
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
 
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -63,7 +67,8 @@ func run() error {
 		}
 	}()
 
-	tel, err := cli.StartTelemetry("crossconf", tcfg)
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("crossconf", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -73,7 +78,9 @@ func run() error {
 		return err
 	}
 
-	m, err := cli.LoadMatrix(*source, cli.MatrixOptions{Instructions: *n, Iterations: *iters, Seed: *seed, Telemetry: tel})
+	m, err := cli.LoadMatrix(ctx, *source, cli.MatrixOptions{
+		Instructions: *n, Iterations: *iters, Seed: *seed, Telemetry: tel, Session: sess,
+	})
 	if err != nil {
 		return err
 	}
@@ -105,7 +112,7 @@ func run() error {
 		}
 	}
 	if *evalstats {
-		log.Printf("evaluation engine: %v", evalengine.Default().Stats())
+		log.Printf("evaluation engine: %v", sess.Stats())
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,17 +23,16 @@ import (
 	"xpscalar/internal/core"
 	"xpscalar/internal/multithread"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtsim: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		source = flag.String("source", "paper", "matrix source: paper or sim")
 		cores  = flag.Int("cores", 2, "number of cores")
@@ -42,11 +42,17 @@ func run() error {
 		sweep  = flag.Bool("sweep", false, "sweep burstiness 0..8")
 		seed   = flag.Int64("seed", 7, "arrival stream seed")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
 
-	tel, err := cli.StartTelemetry("mtsim", tcfg)
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("mtsim", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -58,7 +64,8 @@ func run() error {
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel
-	m, err := cli.LoadMatrix(*source, mo)
+	mo.Session = sess
+	m, err := cli.LoadMatrix(ctx, *source, mo)
 	if err != nil {
 		return err
 	}
@@ -104,7 +111,7 @@ func run() error {
 		"system", "policy", "burstiness", "avg turnaround", "svc slowdown", "redirects", "max queue",
 	}}
 	simulate := func(name string, sys multithread.System, policy multithread.Policy, b float64) error {
-		met, err := multithread.Simulate(sys, multithread.Arrivals{
+		met, err := multithread.Simulate(ctx, sys, multithread.Arrivals{
 			Jobs: *jobs, MeanInterarrival: *inter, MeanWork: *work, Burstiness: b, Seed: *seed,
 		}, policy)
 		if err != nil {

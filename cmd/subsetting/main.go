@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,12 +32,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("subsetting: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		kiviat = flag.Bool("kiviat", false, "print Kiviat vectors of the Figure 1 illustrative workloads and the suite")
 		dendro = flag.Bool("dendrogram", false, "print the raw-characteristics dendrogram of the suite")
@@ -44,14 +43,19 @@ func run() error {
 		norm   = flag.String("norm", "minmax", "k-means normalization: none|minmax|zscore")
 		n      = flag.Int("n", 50000, "instructions per characteristic extraction")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
+
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
 	if !*kiviat && !*dendro && *kmeans == 0 {
 		*kiviat, *dendro = true, true
 	}
 
-	tel, err := cli.StartTelemetry("subsetting", tcfg)
+	tel, err := cli.StartTelemetry("subsetting", nil, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)

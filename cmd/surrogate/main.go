@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,26 +21,31 @@ import (
 	"xpscalar/internal/cli"
 	"xpscalar/internal/core"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surrogate: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		source = flag.String("source", "paper", "matrix source: paper or sim")
 		policy = flag.String("policy", "all", "propagation policy: none|forward|full|all")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
 
-	tel, err := cli.StartTelemetry("surrogate", tcfg)
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("surrogate", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -51,7 +57,8 @@ func run() error {
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel
-	m, err := cli.LoadMatrix(*source, mo)
+	mo.Session = sess
+	m, err := cli.LoadMatrix(ctx, *source, mo)
 	if err != nil {
 		return err
 	}

@@ -7,15 +7,22 @@
 // Usage:
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
-//	         [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	         [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // The Table 4 analogue goes to stdout; diagnostics (wall time, -evalstats,
 // -progress) go to stderr. -trace writes a structured JSONL run trace and
 // -metrics-addr serves live Prometheus metrics while the search runs.
+//
+// The run is interruptible: Ctrl-C (or -timeout expiry) stops the search
+// at the next annealing iteration, prints the outcomes of the workloads
+// that completed, saves them when -save is set, flushes the trace, and
+// exits with status 130 (interrupt) or 124 (timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,10 +30,10 @@ import (
 	"time"
 
 	"xpscalar/internal/cli"
-	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/power"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 	"xpscalar/internal/store"
 	"xpscalar/internal/workload"
 )
@@ -34,12 +41,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xpscalar: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		only       = flag.String("workload", "", "explore a single workload (default: whole suite)")
 		iters      = flag.Int("iterations", 300, "annealing iterations per chain")
@@ -53,11 +58,17 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
 
-	tel, err := cli.StartTelemetry("xpscalar", tcfg)
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("xpscalar", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -106,9 +117,11 @@ func run() error {
 	}
 
 	start := time.Now()
-	outs, err := explore.Suite(profiles, opt)
-	if err != nil {
-		return err
+	outs, runErr := sess.ExploreSuite(ctx, profiles, opt)
+	interrupted := runErr != nil &&
+		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+	if runErr != nil && !interrupted {
+		return runErr
 	}
 
 	tab := &report.Table{Header: []string{
@@ -137,20 +150,27 @@ func run() error {
 			fmt.Sprint(o.Evaluations),
 		)
 	}
-	fmt.Println("Customized architectural configurations (Table 4 analogue)")
-	if err := tab.Write(os.Stdout); err != nil {
-		return err
+	if len(outs) > 0 {
+		fmt.Println("Customized architectural configurations (Table 4 analogue)")
+		if err := tab.Write(os.Stdout); err != nil {
+			return err
+		}
 	}
 	log.Printf("exploration wall time: %v", time.Since(start).Round(time.Second))
-	if *evalstats {
-		log.Printf("evaluation engine: %v", evalengine.Default().Stats())
+	if interrupted {
+		log.Printf("interrupted (%v): %d/%d workloads completed", runErr, len(outs), len(profiles))
+	}
+	if *evalstats || interrupted {
+		log.Printf("evaluation engine: %v", sess.Stats())
 	}
 
-	if *save != "" {
+	if *save != "" && len(outs) > 0 {
 		if err := store.SaveOutcomes(*save, outs); err != nil {
 			return err
 		}
-		log.Printf("outcomes saved to %s", *save)
+		log.Printf("outcomes saved to %s (%d workloads)", *save, len(outs))
 	}
-	return nil
+	// A nil runErr means success; a context error surfaces as exit status
+	// 130 (interrupt) or 124 (timeout) after the deferred telemetry flush.
+	return runErr
 }

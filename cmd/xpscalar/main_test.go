@@ -1,0 +1,143 @@
+// End-to-end interruption tests: build the real binary, interrupt a real
+// run, and verify the contract of the graceful-shutdown path — a distinct
+// exit status, a parseable (complete, summary-terminated) JSONL trace, and
+// a valid saved-outcomes file holding exactly the workloads that finished.
+
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xpscalar/internal/store"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
+)
+
+// buildBinary compiles cmd/xpscalar into a temporary directory once per
+// test that needs it.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xpscalar")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTimeoutExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-timeout", "50ms", "-iterations", "100000", "-chains", "1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run did not fail under -timeout: %v\n%s", err, stderr.Bytes())
+	}
+	if code := ee.ExitCode(); code != 124 {
+		t.Fatalf("exit status %d under -timeout, want 124\n%s", code, stderr.Bytes())
+	}
+}
+
+func TestInterruptGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	savePath := filepath.Join(dir, "outs.json")
+
+	// GOMAXPROCS=2 staggers workload completion: two at a time across the
+	// eleven-workload suite, so an interrupt after the first chain_result
+	// lands mid-suite deterministically — some workloads done, most not.
+	cmd := exec.Command(bin,
+		"-iterations", "2000", "-chains", "1", "-short", "2000", "-long", "4000",
+		"-trace", tracePath, "-save", savePath)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=2")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until at least one workload's chain has completed (its
+	// chain_result flushed through the sink's buffer), then interrupt.
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no chain completed before the deadline\nstderr: %s", stderr.Bytes())
+		}
+		data, _ := os.ReadFile(tracePath)
+		if bytes.Contains(data, []byte(`"event":"chain_result"`)) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run did not report failure: %v\nstderr: %s", err, stderr.Bytes())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit status %d after SIGINT, want 130\nstderr: %s", code, stderr.Bytes())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption:\n%s", stderr.Bytes())
+	}
+
+	// The trace was flushed on the way out: every line parses, the run
+	// manifest opens it and the summary closes it.
+	f, ferr := os.Open(tracePath)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	defer f.Close()
+	events, ferr := telemetry.ReadEvents(f)
+	if ferr != nil {
+		t.Fatalf("interrupted trace unparseable: %v", ferr)
+	}
+	if len(events) < 2 {
+		t.Fatalf("trace holds %d events", len(events))
+	}
+	if events[0].Event != "manifest" || events[len(events)-1].Event != "summary" {
+		t.Fatalf("trace not properly framed: first %q, last %q",
+			events[0].Event, events[len(events)-1].Event)
+	}
+	for i, e := range events {
+		if _, derr := e.Decode(); derr != nil {
+			t.Fatalf("trace event %d undecodable: %v", i, derr)
+		}
+	}
+
+	// The completed workloads were persisted, and only those: the file is
+	// a valid partial artifact.
+	outs, lerr := store.LoadOutcomes(savePath, tech.Default())
+	if lerr != nil {
+		t.Fatalf("saved partial outcomes invalid: %v", lerr)
+	}
+	if len(outs) < 1 || len(outs) >= 11 {
+		t.Fatalf("saved %d outcomes, want a proper partial set (1..10)", len(outs))
+	}
+	for _, o := range outs {
+		if o.Workload == "" || o.BestIPT <= 0 {
+			t.Errorf("partial outcome malformed: %+v", o)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,24 +21,29 @@ import (
 
 	"xpscalar/internal/cli"
 	"xpscalar/internal/report"
+	"xpscalar/internal/session"
 	"xpscalar/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xpviz: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
+	os.Exit(cli.Main(run))
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	source := flag.String("source", "paper", "matrix source: paper or sim")
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
 	flag.Parse()
 
-	tel, err := cli.StartTelemetry("xpviz", tcfg)
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	sess := session.Default()
+	tel, err := cli.StartTelemetry("xpviz", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
 			log.Print(cerr)
@@ -49,7 +55,8 @@ func run() error {
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel
-	m, err := cli.LoadMatrix(*source, mo)
+	mo.Session = sess
+	m, err := cli.LoadMatrix(ctx, *source, mo)
 	if err != nil {
 		return err
 	}

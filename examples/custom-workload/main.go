@@ -6,14 +6,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"xpscalar"
 )
 
 func main() {
 	log.SetFlags(0)
+	// Explorations are interruptible: Ctrl-C cancels the annealing search
+	// at its next iteration instead of killing the process mid-simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	tech := xpscalar.DefaultTech()
 
 	// A user-defined workload: heavy sequential streaming over a large
@@ -41,14 +48,14 @@ func main() {
 	opt.Chains = 2
 
 	// Customize for raw performance.
-	perf, err := xpscalar.Explore(streamer, opt)
+	perf, err := xpscalar.Explore(ctx, streamer, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Customize for energy-delay product.
 	opt.Objective = xpscalar.ObjInverseEDP
-	edp, err := xpscalar.Explore(streamer, opt)
+	edp, err := xpscalar.Explore(ctx, streamer, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -16,6 +19,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// The pipeline honours cancellation end to end: Ctrl-C stops the
+	// annealing chains and the matrix build at their next checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	tech := xpscalar.DefaultTech()
 
 	// Contrasting corners of the suite: memory-bound (mcf), control-heavy
@@ -36,7 +43,7 @@ func main() {
 	opt.Iterations = 80
 	opt.Chains = 2
 	start := time.Now()
-	outs, err := xpscalar.ExploreSuite(profiles, opt)
+	outs, err := xpscalar.ExploreSuite(ctx, profiles, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +56,7 @@ func main() {
 
 	// 2. Cross-configuration matrix: every workload on every customized
 	//    architecture.
-	m, err := xpscalar.CrossMatrix(profiles, configs, 40_000, tech)
+	m, err := xpscalar.CrossMatrix(ctx, profiles, configs, 40_000, tech)
 	if err != nil {
 		log.Fatal(err)
 	}

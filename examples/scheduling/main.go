@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 
 	"xpscalar"
@@ -15,6 +18,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := xpscalar.PaperMatrix()
 	if err != nil {
@@ -55,7 +60,7 @@ func main() {
 		if policy == 1 {
 			pol = xpscalar.NextBestAvailable
 		}
-		met, err := xpscalar.MTSimulate(sys, xpscalar.MTArrivals{
+		met, err := xpscalar.MTSimulate(ctx, sys, xpscalar.MTArrivals{
 			Jobs: 3000, MeanInterarrival: 25, MeanWork: 50, Burstiness: burst, Seed: 11,
 		}, pol)
 		if err != nil {

@@ -5,12 +5,14 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"xpscalar/internal/core"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/paperdata"
+	"xpscalar/internal/session"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/store"
 	"xpscalar/internal/tech"
@@ -30,6 +32,9 @@ type MatrixOptions struct {
 	// annealing chains and each completed matrix cell. It never affects
 	// the matrix produced.
 	Telemetry *Telemetry
+	// Session is the evaluation session the simulation paths run on; nil
+	// selects the process-default session.
+	Session *session.Session
 }
 
 // DefaultMatrixOptions returns a moderate regeneration budget.
@@ -47,8 +52,13 @@ func PaperMatrix() (*core.Matrix, error) {
 // (explore every synthetic workload, then simulate all workload ×
 // architecture pairs), "file:<path>" for a matrix saved by crossconf
 // -savematrix, or "outcomes:<path>" to cross-simulate configurations saved
-// by xpscalar -save.
-func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
+// by xpscalar -save. The simulation paths run on o.Session and honour
+// ctx; the file and paper paths are instantaneous and ignore it.
+func LoadMatrix(ctx context.Context, source string, o MatrixOptions) (*core.Matrix, error) {
+	sess := o.Session
+	if sess == nil {
+		sess = session.Default()
+	}
 	if path, ok := strings.CutPrefix(source, "file:"); ok {
 		return store.LoadMatrix(path)
 	}
@@ -72,7 +82,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		if n <= 0 {
 			n = 60000
 		}
-		return core.BuildMatrixObserved(profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
+		return sess.CrossMatrixObserved(ctx, profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
 	}
 	switch source {
 	case "paper":
@@ -84,7 +94,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		}
 		opt.Observer = o.Telemetry.ExploreObserver()
 		profiles := workload.Suite()
-		outs, err := explore.Suite(profiles, opt)
+		outs, err := sess.ExploreSuite(ctx, profiles, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +106,7 @@ func LoadMatrix(source string, o MatrixOptions) (*core.Matrix, error) {
 		if n <= 0 {
 			n = 60000
 		}
-		return core.BuildMatrixObserved(profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
+		return sess.CrossMatrixObserved(ctx, profiles, configs, n, tech.Default(), o.Telemetry.CellFunc())
 	default:
 		return nil, fmt.Errorf("cli: unknown matrix source %q (want paper or sim)", source)
 	}

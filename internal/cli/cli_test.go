@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"testing"
 
 	"xpscalar/internal/core"
@@ -21,10 +22,10 @@ func TestPaperMatrixMatchesTable5(t *testing.T) {
 }
 
 func TestLoadMatrixSources(t *testing.T) {
-	if _, err := LoadMatrix("paper", DefaultMatrixOptions()); err != nil {
+	if _, err := LoadMatrix(context.Background(), "paper", DefaultMatrixOptions()); err != nil {
 		t.Errorf("paper source: %v", err)
 	}
-	if _, err := LoadMatrix("nosuch", DefaultMatrixOptions()); err == nil {
+	if _, err := LoadMatrix(context.Background(), "nosuch", DefaultMatrixOptions()); err == nil {
 		t.Error("accepted unknown source")
 	}
 }

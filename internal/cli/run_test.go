@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain failure"), ExitError},
+		{context.DeadlineExceeded, ExitTimeout},
+		{context.Canceled, ExitInterrupted},
+		{fmt.Errorf("mid-run: %w", context.DeadlineExceeded), ExitTimeout},
+		{fmt.Errorf("mid-run: %w", context.Canceled), ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRunConfigContextTimeout(t *testing.T) {
+	ctx, stop := RunConfig{Timeout: 20 * time.Millisecond}.Context(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestRunConfigContextNoTimeout(t *testing.T) {
+	ctx, stop := RunConfig{}.Context(context.Background())
+	defer stop()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero Timeout must not set a deadline")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fresh run context already errored: %v", ctx.Err())
+	}
+	stop()
+}
+
+func TestMainMapsRunErrors(t *testing.T) {
+	if got := Main(func(context.Context) error { return nil }); got != ExitOK {
+		t.Errorf("Main(nil error) = %d, want %d", got, ExitOK)
+	}
+	if got := Main(func(context.Context) error { return context.Canceled }); got != ExitInterrupted {
+		t.Errorf("Main(canceled) = %d, want %d", got, ExitInterrupted)
+	}
+	if got := Main(func(context.Context) error { return context.DeadlineExceeded }); got != ExitTimeout {
+		t.Errorf("Main(deadline) = %d, want %d", got, ExitTimeout)
+	}
+	if got := Main(func(context.Context) error { return errors.New("boom") }); got != ExitError {
+		t.Errorf("Main(error) = %d, want %d", got, ExitError)
+	}
+}

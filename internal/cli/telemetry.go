@@ -23,6 +23,7 @@ import (
 	"xpscalar/internal/core"
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
+	"xpscalar/internal/session"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/telemetry"
 )
@@ -51,6 +52,7 @@ func (c *TelemetryConfig) RegisterFlags() {
 // into trace events. A nil *Telemetry is valid and inert, as is one
 // started with an all-zero config.
 type Telemetry struct {
+	sess     *session.Session
 	sink     *telemetry.Sink
 	server   *telemetry.Server
 	progress *progressObserver
@@ -58,11 +60,15 @@ type Telemetry struct {
 }
 
 // StartTelemetry opens the sink and metrics endpoint requested by cfg,
-// wires the shared evaluation engine into both, and emits the run
-// manifest. The caller must Close the returned Telemetry when the run
-// ends; it is never nil, even on error.
-func StartTelemetry(tool string, cfg TelemetryConfig) (*Telemetry, error) {
-	t := &Telemetry{start: time.Now()}
+// wires sess's evaluation engine into both, and emits the run manifest.
+// A nil sess selects the process-default session. The caller must Close
+// the returned Telemetry when the run ends; it is never nil, even on
+// error.
+func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*Telemetry, error) {
+	if sess == nil {
+		sess = session.Default()
+	}
+	t := &Telemetry{sess: sess, start: time.Now()}
 	if cfg.TracePath == "" && cfg.MetricsAddr == "" && !cfg.Progress {
 		return t, nil
 	}
@@ -71,7 +77,7 @@ func StartTelemetry(tool string, cfg TelemetryConfig) (*Telemetry, error) {
 	}
 	if cfg.MetricsAddr != "" {
 		reg := telemetry.Default()
-		evalengine.Default().EnableTelemetry(reg)
+		sess.EnableTelemetry(reg)
 		srv, err := telemetry.ListenAndServe(cfg.MetricsAddr, reg)
 		if err != nil {
 			return t, err
@@ -88,7 +94,7 @@ func StartTelemetry(tool string, cfg TelemetryConfig) (*Telemetry, error) {
 		t.sink = sink
 		sink.Emit(manifest(tool))
 		obs := evalObserver{sink}
-		evalengine.Default().SetEvalObserver(obs)
+		sess.SetEvalObserver(obs)
 	}
 	return t, nil
 }
@@ -209,15 +215,17 @@ func (t *Telemetry) CellFunc() core.CellFunc {
 }
 
 // Close emits the run summary, detaches the engine observer, and shuts the
-// sink and metrics server down. Safe on a nil or inert Telemetry.
+// sink and metrics server down. Safe on a nil or inert Telemetry, and
+// safe to call on the interrupt path: everything buffered is flushed
+// before the process decides its exit code.
 func (t *Telemetry) Close() error {
 	if t == nil {
 		return nil
 	}
 	var firstErr error
 	if t.sink != nil {
-		evalengine.Default().SetEvalObserver(nil)
-		s := evalengine.Default().Stats()
+		t.sess.SetEvalObserver(nil)
+		s := t.sess.Stats()
 		t.sink.Emit(telemetry.RunSummary{
 			WallNs:       time.Since(t.start).Nanoseconds(),
 			Requests:     s.Requests,

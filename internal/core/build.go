@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xpscalar/internal/evalengine"
@@ -21,18 +22,22 @@ import (
 type CellFunc func(workload, arch string, budget int, ipt float64)
 
 // BuildMatrix evaluates every profile on every configuration for n
-// instructions each and returns the resulting cross-configuration IPT
-// matrix. configs[i] must be the customized architecture of profiles[i].
-// The len(profiles)² evaluations run in parallel on the shared evaluation
-// engine, so cells already simulated by the exploration phase (and the
-// workload instruction streams) are reused rather than recomputed.
-func BuildMatrix(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
-	return BuildMatrixObserved(profiles, configs, n, t, nil)
+// instructions each on eng and returns the resulting cross-configuration
+// IPT matrix. configs[i] must be the customized architecture of
+// profiles[i]. The len(profiles)² evaluations run in parallel on the
+// engine's pool, so cells already simulated by the exploration phase (and
+// the workload instruction streams) are reused rather than recomputed.
+// Cancelling ctx stops dispatching between cells and returns the
+// context's error; completed cells are observable through the engine's
+// cache and any CellFunc, but no partial Matrix is returned (a Matrix
+// with holes would silently corrupt every downstream figure of merit).
+func BuildMatrix(ctx context.Context, eng *evalengine.Engine, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
+	return BuildMatrixObserved(ctx, eng, profiles, configs, n, t, nil)
 }
 
 // BuildMatrixObserved is BuildMatrix with a per-cell completion callback
 // (nil for none). The callback never affects the matrix.
-func BuildMatrixObserved(profiles []workload.Profile, configs []sim.Config, n int, t tech.Params, cell CellFunc) (*Matrix, error) {
+func BuildMatrixObserved(ctx context.Context, eng *evalengine.Engine, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params, cell CellFunc) (*Matrix, error) {
 	if len(profiles) == 0 || len(profiles) != len(configs) {
 		return nil, fmt.Errorf("core: %d profiles for %d configs", len(profiles), len(configs))
 	}
@@ -45,10 +50,9 @@ func BuildMatrixObserved(profiles []workload.Profile, configs []sim.Config, n in
 		ipt[i] = make([]float64, len(configs))
 	}
 
-	eng := evalengine.Default()
-	if err := eng.Pool().Map(len(profiles)*len(configs), func(k int) error {
+	if err := eng.Pool().Map(ctx, len(profiles)*len(configs), func(k int) error {
 		w, a := k/len(configs), k%len(configs)
-		ev, err := eng.Evaluate(configs[a], profiles[w], n, t, power.ObjIPT)
+		ev, err := eng.Evaluate(ctx, configs[a], profiles[w], n, t, power.ObjIPT)
 		if err != nil {
 			return fmt.Errorf("core: %s on %s's arch: %w", profiles[w].Name, names[a], err)
 		}

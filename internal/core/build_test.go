@@ -1,13 +1,20 @@
 package core
 
 import (
+	"context"
 	"testing"
 
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/timing"
 	"xpscalar/internal/workload"
 )
+
+// eng is the package-test engine: the matrix builders take an injected
+// engine, and sharing one across the tests exercises the memoized path the
+// way a Session would.
+var eng = evalengine.New(evalengine.Options{})
 
 func TestBuildMatrixEndToEnd(t *testing.T) {
 	// A small end-to-end cross-configuration run: two contrasting
@@ -38,7 +45,7 @@ func TestBuildMatrixEndToEnd(t *testing.T) {
 
 	profiles := []workload.Profile{gzip, mcf}
 	configs := []sim.Config{fast, big}
-	m, err := BuildMatrix(profiles, configs, 25000, tp)
+	m, err := BuildMatrix(context.Background(), eng, profiles, configs, 25000, tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +75,7 @@ func TestBuildMatrixEndToEnd(t *testing.T) {
 func TestBuildMatrixRejectsMismatch(t *testing.T) {
 	tp := tech.Default()
 	gzip, _ := workload.ByName("gzip")
-	if _, err := BuildMatrix([]workload.Profile{gzip}, nil, 1000, tp); err == nil {
+	if _, err := BuildMatrix(context.Background(), eng, []workload.Profile{gzip}, nil, 1000, tp); err == nil {
 		t.Error("accepted mismatched profiles/configs")
 	}
 }
@@ -79,11 +86,11 @@ func TestBuildMatrixDeterministic(t *testing.T) {
 	vpr, _ := workload.ByName("vpr")
 	cfgs := []sim.Config{sim.InitialConfig(tp), sim.InitialConfig(tp)}
 	profs := []workload.Profile{gzip, vpr}
-	a, err := BuildMatrix(profs, cfgs, 8000, tp)
+	a, err := BuildMatrix(context.Background(), eng, profs, cfgs, 8000, tp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := BuildMatrix(profs, cfgs, 8000, tp)
+	b, err := BuildMatrix(context.Background(), eng, profs, cfgs, 8000, tp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"xpscalar/internal/explore"
@@ -24,11 +25,12 @@ func TestEndToEndShape(t *testing.T) {
 		profiles = append(profiles, p)
 	}
 	opt := explore.DefaultOptions(19)
+	opt.Engine = eng
 	opt.Iterations = 60
 	opt.Chains = 2
 	opt.ShortBudget = 6000
 	opt.LongBudget = 15000
-	outs, err := explore.Suite(profiles, opt)
+	outs, err := explore.Suite(context.Background(), profiles, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func TestEndToEndShape(t *testing.T) {
 		configs[i] = o.Best
 	}
 
-	m, err := BuildMatrix(profiles, configs, 15000, tp)
+	m, err := BuildMatrix(context.Background(), eng, profiles, configs, 15000, tp)
 	if err != nil {
 		t.Fatal(err)
 	}

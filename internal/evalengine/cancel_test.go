@@ -1,0 +1,158 @@
+// Cancellation semantics of the engine and pool: a context error is only
+// ever returned to the caller — never memoized, never allowed to strand a
+// singleflight waiter — and a cancelled fan-out stops handing out work.
+
+package evalengine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+)
+
+// TestPoolMapStopsDispatchAfterError: once any job fails, no further jobs
+// are dispatched. With one worker the execution order is the index order,
+// so a failure at index 3 bounds the executed count at exactly 4.
+func TestPoolMapStopsDispatchAfterError(t *testing.T) {
+	p := NewPool(1)
+	boom := errors.New("boom")
+	var executed atomic.Int32
+	err := p.Map(context.Background(), 100, func(i int) error {
+		executed.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if n := executed.Load(); n != 4 {
+		t.Fatalf("executed %d jobs after a failure at index 3, want exactly 4", n)
+	}
+}
+
+// TestPoolMapPreCancelled: a context cancelled before the call runs no jobs
+// at all.
+func TestPoolMapPreCancelled(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int32
+	err := p.Map(ctx, 50, func(int) error { executed.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", n)
+	}
+}
+
+// TestPoolMapCancelStopsDispatch: cancellation mid-run stops further
+// dispatch (single worker makes the cut-off exact) and surfaces the
+// context's error when no job failed.
+func TestPoolMapCancelStopsDispatch(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int32
+	err := p.Map(ctx, 100, func(i int) error {
+		executed.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n != 3 {
+		t.Fatalf("executed %d jobs after cancellation at index 2, want exactly 3", n)
+	}
+}
+
+// TestCancelledEvaluateNotMemoized: a cancelled Evaluate leaves no trace in
+// the engine — no counters, no cache entry — and the later uncancelled
+// evaluation of the same point is bit-identical to a fresh sim.Run.
+func TestCancelledEvaluateNotMemoized(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p := testProfile(43)
+	eng := New(Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Evaluate(ctx, cfg, p, 5000, tp, power.ObjIPT); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if s := eng.Stats(); s.Requests != 0 || s.CacheEntries != 0 {
+		t.Fatalf("cancelled request left engine state behind: %+v", s)
+	}
+
+	want, err := sim.Run(cfg, p, 5000, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev.Result, want) {
+		t.Fatalf("evaluation after a cancelled request diverged from a fresh run:\n got %+v\nwant %+v", ev.Result, want)
+	}
+	if s := eng.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("stats after the uncancelled evaluation: %+v", s)
+	}
+}
+
+// TestDedupWaiterCancellation: a waiter joined to an in-flight computation
+// can abandon the wait on cancellation without poisoning the entry — the
+// owner's result stays valid for every later caller.
+func TestDedupWaiterCancellation(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p := testProfile(41)
+	eng := New(Options{})
+
+	// Plant an in-flight entry by hand: inserted, not yet computed.
+	key := Fingerprint(cfg, p, 5000, tp, power.ObjIPT)
+	sh := eng.shard(key)
+	me := &memoEntry{key: key, ready: make(chan struct{})}
+	sh.mu.Lock()
+	sh.entries[key] = sh.order.PushFront(me)
+	sh.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := eng.Evaluate(ctx, cfg, p, 5000, tp, power.ObjIPT); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dedup waiter returned %v, want context.Canceled", err)
+	}
+	if s := eng.Stats(); s.Deduped != 1 {
+		t.Fatalf("stats %+v, want exactly one deduped request", s)
+	}
+
+	// The owner finishes; the abandoned wait must not have disturbed the
+	// entry — a fresh caller sees the computed value as a plain hit.
+	me.val = Eval{Score: 42}
+	close(me.ready)
+	ev, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Score != 42 {
+		t.Fatalf("score %v, want the owner's computed 42", ev.Score)
+	}
+	if s := eng.Stats(); s.Hits != 1 {
+		t.Fatalf("stats after the owner completed: %+v", s)
+	}
+}

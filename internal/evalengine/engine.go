@@ -17,6 +17,7 @@ package evalengine
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -182,19 +183,6 @@ func New(o Options) *Engine {
 	return e
 }
 
-var (
-	defaultOnce sync.Once
-	defaultEng  *Engine
-)
-
-// Default returns the process-wide shared engine. All framework layers
-// evaluate through it, so redundant points requested by different layers
-// (an annealing chain and a matrix cell, say) are simulated once.
-func Default() *Engine {
-	defaultOnce.Do(func() { defaultEng = New(Options{}) })
-	return defaultEng
-}
-
 // Pool returns the engine's worker pool, the fan-out primitive every
 // simulation caller shares.
 func (e *Engine) Pool() *Pool { return e.pool }
@@ -240,7 +228,18 @@ func (e *Engine) shard(key string) *cacheShard {
 // request, serving it from the memo cache when the point has been
 // evaluated before and joining an in-flight computation when another
 // goroutine is already simulating it.
-func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+//
+// Cancellation semantics: ctx is checked once on entry (before a memo
+// entry is inserted) and while waiting on an in-flight computation owned
+// by another goroutine. A context error is only ever returned to the
+// caller — it is never stored in the cache, so a cancelled run can never
+// poison the memoized result of a design point. The simulation itself,
+// once started, runs to completion: its result is a pure function of the
+// request and stays valid for every future caller.
+func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+	if err := ctx.Err(); err != nil {
+		return Eval{}, err
+	}
 	e.requests.Add(1)
 	obs := e.obs.Load()
 	key := Fingerprint(cfg, p, budget, t, obj)
@@ -258,7 +257,14 @@ func (e *Engine) Evaluate(cfg sim.Config, p workload.Profile, budget int, t tech
 		default:
 			e.deduped.Add(1)
 			outcome = "dedup"
-			<-me.ready
+			select {
+			case <-me.ready:
+			case <-ctx.Done():
+				// The simulation we joined keeps running in its owner's
+				// goroutine and will be memoized there; only this waiter
+				// gives up.
+				return Eval{}, ctx.Err()
+			}
 		}
 		if obs != nil {
 			(*obs).ObserveEval(record(p.Name, budget, outcome, 0, me.val, me.err))

@@ -1,6 +1,7 @@
 package evalengine
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func TestEvaluateMatchesFreshRun(t *testing.T) {
 
 	eng := New(Options{})
 	for round := 0; round < 2; round++ {
-		ev, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT)
+		ev, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestSingleflightDedup(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait()
-			evals[i], errs[i] = eng.Evaluate(cfg, p, 20000, tp, power.ObjIPT)
+			evals[i], errs[i] = eng.Evaluate(context.Background(), cfg, p, 20000, tp, power.ObjIPT)
 		}(i)
 	}
 	start.Done()
@@ -123,7 +124,7 @@ func TestLRUEviction(t *testing.T) {
 
 	// 10 distinct points (distinct budgets → distinct fingerprints).
 	for n := 1000; n < 1010; n++ {
-		if _, err := eng.Evaluate(cfg, p, n, tp, power.ObjIPT); err != nil {
+		if _, err := eng.Evaluate(context.Background(), cfg, p, n, tp, power.ObjIPT); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,13 +140,13 @@ func TestLRUEviction(t *testing.T) {
 	}
 
 	// The most recent point is still cached; the first was evicted.
-	if _, err := eng.Evaluate(cfg, p, 1009, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 1009, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 	if s = eng.Stats(); s.Hits != 1 {
 		t.Fatalf("most recent point should hit: %+v", s)
 	}
-	if _, err := eng.Evaluate(cfg, p, 1000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 1000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 	if s = eng.Stats(); s.Misses != 11 {
@@ -237,11 +238,11 @@ func TestClockRoundingNoCollision(t *testing.T) {
 		t.Skip("configs no longer share a String rendering; pitfall not reproducible")
 	}
 	eng := New(Options{})
-	ra, err := eng.Evaluate(a, testProfile(9), 4000, tp, power.ObjIPT)
+	ra, err := eng.Evaluate(context.Background(), a, testProfile(9), 4000, tp, power.ObjIPT)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := eng.Evaluate(b, testProfile(9), 4000, tp, power.ObjIPT)
+	rb, err := eng.Evaluate(context.Background(), b, testProfile(9), 4000, tp, power.ObjIPT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,8 +261,8 @@ func TestErrorsAreMemoized(t *testing.T) {
 	cfg := sim.InitialConfig(tp)
 	cfg.Width = 0 // invalid
 	eng := New(Options{})
-	_, err1 := eng.Evaluate(cfg, testProfile(2), 4000, tp, power.ObjIPT)
-	_, err2 := eng.Evaluate(cfg, testProfile(2), 4000, tp, power.ObjIPT)
+	_, err1 := eng.Evaluate(context.Background(), cfg, testProfile(2), 4000, tp, power.ObjIPT)
+	_, err2 := eng.Evaluate(context.Background(), cfg, testProfile(2), 4000, tp, power.ObjIPT)
 	if err1 == nil || err2 == nil {
 		t.Fatal("invalid config must fail")
 	}
@@ -280,7 +281,7 @@ func TestEvaluateObjectiveScore(t *testing.T) {
 	cfg := sim.InitialConfig(tp)
 	p := testProfile(17)
 	eng := New(Options{})
-	ev, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjInverseEDP)
+	ev, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjInverseEDP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestConcurrentMixedPoints(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 12; i++ {
 				cfg := cfgs[(g+i)%len(cfgs)]
-				if _, err := eng.Evaluate(cfg, p, 2000+(i%3)*500, tp, power.ObjIPT); err != nil {
+				if _, err := eng.Evaluate(context.Background(), cfg, p, 2000+(i%3)*500, tp, power.ObjIPT); err != nil {
 					t.Error(err)
 					return
 				}

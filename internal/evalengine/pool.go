@@ -8,6 +8,7 @@
 package evalengine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,9 +56,16 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // Map runs fn(i) for every i in [0,n), at most p.Workers() at a time, and
-// waits for all of them. It returns the lowest-index error, so failure
-// reporting is deterministic regardless of scheduling.
-func (p *Pool) Map(n int, fn func(i int) error) error {
+// waits for the jobs it dispatched. Dispatch stops early in two cases:
+// once any job has returned an error (jobs already in flight finish, the
+// rest are never started), and once ctx is cancelled. It returns the
+// lowest-index error among the jobs that ran, so failure reporting is
+// deterministic regardless of scheduling; when no job failed but the
+// context was cancelled it returns the context's error.
+func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -68,20 +76,28 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				p.jobs.Add(1)
 				p.active.Add(1)
-				errs[i] = fn(i)
+				err := fn(i)
 				p.active.Add(-1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
 			}
 		}()
 	}
@@ -91,5 +107,5 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package evalengine
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -11,7 +12,7 @@ import (
 func TestPoolMapCoversAllIndices(t *testing.T) {
 	p := NewPool(4)
 	ran := make([]atomic.Int32, 100)
-	if err := p.Map(100, func(i int) error {
+	if err := p.Map(context.Background(), 100, func(i int) error {
 		ran[i].Add(1)
 		return nil
 	}); err != nil {
@@ -29,7 +30,7 @@ func TestPoolMapCoversAllIndices(t *testing.T) {
 func TestPoolMapBoundsConcurrency(t *testing.T) {
 	p := NewPool(3)
 	var inFlight, peak atomic.Int32
-	if err := p.Map(50, func(int) error {
+	if err := p.Map(context.Background(), 50, func(int) error {
 		now := inFlight.Add(1)
 		for {
 			old := peak.Load()
@@ -54,7 +55,7 @@ func TestPoolMapFirstError(t *testing.T) {
 	p := NewPool(8)
 	errLow := errors.New("low")
 	errHigh := errors.New("high")
-	err := p.Map(64, func(i int) error {
+	err := p.Map(context.Background(), 64, func(i int) error {
 		switch i {
 		case 7:
 			return errLow
@@ -74,8 +75,8 @@ func TestPoolMapFirstError(t *testing.T) {
 func TestPoolMapNested(t *testing.T) {
 	p := NewPool(2)
 	var total atomic.Int32
-	if err := p.Map(4, func(int) error {
-		return p.Map(4, func(int) error {
+	if err := p.Map(context.Background(), 4, func(int) error {
+		return p.Map(context.Background(), 4, func(int) error {
 			total.Add(1)
 			return nil
 		})
@@ -93,7 +94,7 @@ func TestPoolDefaults(t *testing.T) {
 	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("NewPool(0).Workers() = %d, want GOMAXPROCS", got)
 	}
-	if err := NewPool(2).Map(0, func(int) error { t.Error("ran on n=0"); return nil }); err != nil {
+	if err := NewPool(2).Map(context.Background(), 0, func(int) error { t.Error("ran on n=0"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package evalengine
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -44,10 +45,10 @@ func TestEvalObserverOutcomes(t *testing.T) {
 	rec := &recordingEvalObserver{}
 	eng.SetEvalObserver(rec)
 
-	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,7 +75,7 @@ func TestEvalObserverOutcomes(t *testing.T) {
 	}
 
 	eng.SetEvalObserver(nil)
-	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(rec.outcomes()); n != 2 {
@@ -91,7 +92,7 @@ func TestEvalObserverError(t *testing.T) {
 	rec := &recordingEvalObserver{}
 	eng.SetEvalObserver(rec)
 
-	if _, err := eng.Evaluate(sim.Config{}, p, 5000, tp, power.ObjIPT); err == nil {
+	if _, err := eng.Evaluate(context.Background(), sim.Config{}, p, 5000, tp, power.ObjIPT); err == nil {
 		t.Fatal("zero config evaluated without error")
 	}
 	if len(rec.records) != 1 {
@@ -118,7 +119,7 @@ func TestCacheEntriesTracksOccupancy(t *testing.T) {
 		t.Fatalf("fresh engine has %d entries", got)
 	}
 	for n := 1000; n < 1003; n++ {
-		if _, err := eng.Evaluate(cfg, p, n, tp, power.ObjIPT); err != nil {
+		if _, err := eng.Evaluate(context.Background(), cfg, p, n, tp, power.ObjIPT); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,7 +127,7 @@ func TestCacheEntriesTracksOccupancy(t *testing.T) {
 		t.Fatalf("entries = %d, want 3", got)
 	}
 	for n := 1003; n < 1010; n++ {
-		if _, err := eng.Evaluate(cfg, p, n, tp, power.ObjIPT); err != nil {
+		if _, err := eng.Evaluate(context.Background(), cfg, p, n, tp, power.ObjIPT); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,17 +152,17 @@ func TestEnableTelemetryExportsCounters(t *testing.T) {
 	p := testProfile(13)
 	eng := New(Options{})
 
-	if _, err := eng.Evaluate(cfg, p, 5000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 5000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
 	eng.EnableTelemetry(reg)
 	// A fresh point after registration lands in the sim-latency histogram;
 	// a repeat shows up as a hit.
-	if _, err := eng.Evaluate(cfg, p, 6000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 6000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Evaluate(cfg, p, 6000, tp, power.ObjIPT); err != nil {
+	if _, err := eng.Evaluate(context.Background(), cfg, p, 6000, tp, power.ObjIPT); err != nil {
 		t.Fatal(err)
 	}
 

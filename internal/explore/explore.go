@@ -14,6 +14,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,6 +63,10 @@ type Options struct {
 	// affects the search: no randomness is consumed and no decision
 	// depends on it, so outcomes are identical with or without one.
 	Observer Observer
+	// Engine is the evaluation engine the search runs against. Required:
+	// explorations always run through an injected engine — a Session's,
+	// or one constructed directly in tests — never a process global.
+	Engine *evalengine.Engine
 }
 
 // DefaultOptions returns a budget suitable for tests and examples: small
@@ -90,6 +95,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("explore: budgets %d/%d malformed", o.ShortBudget, o.LongBudget)
 	case o.InitTemp <= 0 || o.CoolRate <= 0 || o.CoolRate >= 1:
 		return fmt.Errorf("explore: annealing schedule (%v, %v) malformed", o.InitTemp, o.CoolRate)
+	case o.Engine == nil:
+		return fmt.Errorf("explore: options carry no Engine (run through a Session or set one explicitly)")
 	}
 	return o.Tech.Validate()
 }
@@ -120,7 +127,9 @@ type Outcome struct {
 
 // Workload runs the annealing search for one workload and returns the best
 // configuration found — the workload's configurational characteristics.
-func Workload(p workload.Profile, opt Options) (Outcome, error) {
+// Cancelling ctx stops every chain at its next iteration boundary and
+// returns the context's error.
+func Workload(ctx context.Context, p workload.Profile, opt Options) (Outcome, error) {
 	if err := opt.validate(); err != nil {
 		return Outcome{}, err
 	}
@@ -133,9 +142,9 @@ func Workload(p workload.Profile, opt Options) (Outcome, error) {
 		err error
 	}
 	results := make([]chainResult, opt.Chains)
-	pool := evalengine.Default().Pool()
-	_ = pool.Map(opt.Chains, func(ci int) error {
-		out, err := runChain(p, opt, opt.Seed+int64(ci)*7919, ci)
+	pool := opt.Engine.Pool()
+	mapErr := pool.Map(ctx, opt.Chains, func(ci int) error {
+		out, err := runChain(ctx, p, opt, opt.Seed+int64(ci)*7919, ci)
 		results[ci] = chainResult{out, err}
 		return nil
 	})
@@ -144,6 +153,10 @@ func Workload(p workload.Profile, opt Options) (Outcome, error) {
 		if r.err != nil {
 			return Outcome{}, r.err
 		}
+	}
+	if mapErr != nil {
+		// No chain failed, so this is cancellation before dispatch.
+		return Outcome{}, mapErr
 	}
 	// Select the first chain explicitly, then compare: seeding the
 	// comparison with a zero Outcome would silently drop every chain when
@@ -310,10 +323,10 @@ func bump(v int, rng *rand.Rand, lo, hi int) int {
 	return v
 }
 
-func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, error) {
+func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, chain int) (Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	t := opt.Tech
-	eng := evalengine.Default()
+	eng := opt.Engine
 
 	budgetAt := func(iter int) int {
 		if iter > opt.Iterations*3/5 {
@@ -322,7 +335,7 @@ func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, 
 		return opt.ShortBudget
 	}
 	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
-		ev, err := eng.Evaluate(cfg, p, budgetAt(iter), t, opt.Objective)
+		ev, err := eng.Evaluate(ctx, cfg, p, budgetAt(iter), t, opt.Objective)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -358,6 +371,12 @@ func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, 
 
 	temp := opt.InitTemp * curScore
 	for i := 1; i <= opt.Iterations; i++ {
+		// The per-iteration cancellation point of the annealing inner
+		// loop: one atomic-free pointer chase, zero allocations
+		// (BenchmarkAnnealLoopCtxCheck pins the cost).
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
 		var cand point
 		var move string
 		if rng.Intn(4) == 0 {
@@ -421,7 +440,7 @@ func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, 
 	if !ok {
 		return Outcome{}, fmt.Errorf("explore: best point became infeasible for %s", p.Name)
 	}
-	ev, err := eng.Evaluate(bestCfg, p, opt.LongBudget, t, opt.Objective)
+	ev, err := eng.Evaluate(ctx, bestCfg, p, opt.LongBudget, t, opt.Objective)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -440,23 +459,35 @@ func runChain(p workload.Profile, opt Options, seed int64, chain int) (Outcome, 
 // the paper's cross-seeding rule: each workload is evaluated on every other
 // workload's customized configuration, and if some other configuration
 // outperforms its own, that configuration replaces it (paper §4.1).
-func Suite(profiles []workload.Profile, opt Options) ([]Outcome, error) {
+//
+// On error — including cancellation — Suite returns the outcomes of the
+// workloads that had already completed (in profile order, compacted)
+// alongside the error, so an interrupted run can still persist partial
+// results. The cross-seeding round is skipped for partial results: it is
+// only meaningful over the full suite.
+func Suite(ctx context.Context, profiles []workload.Profile, opt Options) ([]Outcome, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	outs := make([]Outcome, len(profiles))
-	if err := evalengine.Default().Pool().Map(len(profiles), func(i int) error {
+	if err := opt.Engine.Pool().Map(ctx, len(profiles), func(i int) error {
 		o := opt
 		o.Seed = opt.Seed + int64(i)*104729
 		var err error
-		outs[i], err = Workload(profiles[i], o)
+		outs[i], err = Workload(ctx, profiles[i], o)
 		return err
 	}); err != nil {
-		return nil, err
+		var done []Outcome
+		for _, o := range outs {
+			if o.Workload != "" {
+				done = append(done, o)
+			}
+		}
+		return done, err
 	}
 
 	// Cross-seeding round.
-	if err := crossSeed(profiles, outs, opt); err != nil {
+	if err := crossSeed(ctx, profiles, outs, opt); err != nil {
 		return nil, err
 	}
 	return outs, nil
@@ -464,7 +495,7 @@ func Suite(profiles []workload.Profile, opt Options) ([]Outcome, error) {
 
 // crossSeed evaluates each workload on every other outcome's configuration
 // and adopts any configuration that beats its own.
-func crossSeed(profiles []workload.Profile, outs []Outcome, opt Options) error {
+func crossSeed(ctx context.Context, profiles []workload.Profile, outs []Outcome, opt Options) error {
 	type job struct{ wi, ci int }
 	jobs := make([]job, 0, len(profiles)*len(outs))
 	for wi := range profiles {
@@ -476,10 +507,10 @@ func crossSeed(profiles []workload.Profile, outs []Outcome, opt Options) error {
 	}
 	ipts := make([]float64, len(jobs))
 	raws := make([]float64, len(jobs))
-	eng := evalengine.Default()
-	if err := eng.Pool().Map(len(jobs), func(ji int) error {
+	eng := opt.Engine
+	if err := eng.Pool().Map(ctx, len(jobs), func(ji int) error {
 		j := jobs[ji]
-		ev, err := eng.Evaluate(outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
+		ev, err := eng.Evaluate(ctx, outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
 		if err != nil {
 			return err
 		}

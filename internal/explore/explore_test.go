@@ -1,20 +1,27 @@
 package explore
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/workload"
 )
 
+// testEngine is the package-test engine: explorations require an injected
+// engine, and sharing one across tests mirrors how a Session wires it.
+var testEngine = evalengine.New(evalengine.Options{})
+
 // tinyOptions keeps unit tests fast; correctness of the machinery does not
 // need a long anneal.
 func tinyOptions(seed int64) Options {
 	o := DefaultOptions(seed)
+	o.Engine = testEngine
 	o.Iterations = 12
 	o.Chains = 2
 	o.ShortBudget = 2500
@@ -31,21 +38,25 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *Options) { o.InitTemp = 0 },
 		func(o *Options) { o.CoolRate = 1.0 },
 		func(o *Options) { o.Tech.FO4Ns = 0 },
+		func(o *Options) { o.Engine = nil },
 	}
 	for i, mutate := range bad {
 		o := DefaultOptions(1)
+		o.Engine = testEngine
 		mutate(&o)
 		if err := o.validate(); err == nil {
 			t.Errorf("case %d: validate accepted %+v", i, o)
 		}
 	}
-	if err := DefaultOptions(1).validate(); err != nil {
+	good := DefaultOptions(1)
+	good.Engine = testEngine
+	if err := good.validate(); err != nil {
 		t.Errorf("default options rejected: %v", err)
 	}
 }
 
 func TestWorkloadRejectsInvalidProfile(t *testing.T) {
-	if _, err := Workload(workload.Profile{}, tinyOptions(1)); err == nil {
+	if _, err := Workload(context.Background(), workload.Profile{}, tinyOptions(1)); err == nil {
 		t.Error("Workload accepted an invalid profile")
 	}
 }
@@ -116,7 +127,7 @@ func TestWorkloadImprovesOnInitialConfig(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
 	opt := tinyOptions(11)
 	opt.Iterations = 40
-	out, err := Workload(prof, opt)
+	out, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +154,11 @@ func TestWorkloadDeterministic(t *testing.T) {
 	}
 	prof, _ := workload.ByName("vpr")
 	opt := tinyOptions(5)
-	a, err := Workload(prof, opt)
+	a, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Workload(prof, opt)
+	b, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +175,7 @@ func TestTraceRecordsRollbacks(t *testing.T) {
 	opt := tinyOptions(9)
 	opt.KeepTrace = true
 	opt.Iterations = 25
-	out, err := Workload(prof, opt)
+	out, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +212,7 @@ func TestSuiteCrossSeedingAdoptsBetterConfigs(t *testing.T) {
 		profs = append(profs, p)
 	}
 	opt := tinyOptions(21)
-	outs, err := Suite(profs, opt)
+	outs, err := Suite(context.Background(), profs, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,12 +246,12 @@ func TestPowerObjectiveChangesTheOptimum(t *testing.T) {
 	opt := tinyOptions(31)
 	opt.Iterations = 30
 
-	perf, err := Workload(prof, opt)
+	perf, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Objective = power.ObjInverseEDP
-	eff, err := Workload(prof, opt)
+	eff, err := Workload(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -37,14 +38,14 @@ func TestObserverSeesEveryStepAndChain(t *testing.T) {
 	}
 
 	opt := tinyOptions(3)
-	base, err := Workload(p, opt)
+	base, err := Workload(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	rec := &recordingObserver{}
 	opt.Observer = rec
-	out, err := Workload(p, opt)
+	out, err := Workload(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

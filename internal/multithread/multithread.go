@@ -13,6 +13,7 @@ package multithread
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -210,8 +211,16 @@ func (h *completionHeap) Pop() interface{} {
 	return item
 }
 
+// ctxCheckStride is how many jobs/events the contention simulation
+// processes between context checks: frequent enough that cancellation
+// lands within microseconds, sparse enough to stay invisible next to the
+// event-loop work.
+const ctxCheckStride = 4096
+
 // Simulate runs the job stream against the system under the policy.
-func Simulate(sys System, arr Arrivals, policy Policy) (Metrics, error) {
+// Cancelling ctx aborts the event loop within ctxCheckStride events and
+// returns the context's error.
+func Simulate(ctx context.Context, sys System, arr Arrivals, policy Policy) (Metrics, error) {
 	if err := sys.Validate(); err != nil {
 		return Metrics{}, err
 	}
@@ -224,6 +233,11 @@ func Simulate(sys System, arr Arrivals, policy Policy) (Metrics, error) {
 	jobs := make([]job, 0, arr.Jobs)
 	now := 0.0
 	for len(jobs) < arr.Jobs {
+		if len(jobs)%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Metrics{}, err
+			}
+		}
 		batch := 1
 		gapMean := arr.MeanInterarrival
 		if arr.Burstiness > 0 {
@@ -260,7 +274,12 @@ func Simulate(sys System, arr Arrivals, policy Policy) (Metrics, error) {
 	case StallForDesignated:
 		// Per-core FIFO: core k serves its designated jobs in arrival
 		// order.
-		for _, j := range jobs {
+		for ji, j := range jobs {
+			if ji%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return Metrics{}, err
+				}
+			}
 			c := sys.Designated[j.kind]
 			start := math.Max(j.arrival, freeAt[c])
 			svc := serviceOn(j, c)
@@ -313,7 +332,14 @@ func Simulate(sys System, arr Arrivals, policy Policy) (Metrics, error) {
 				}
 			}
 		}
+		events := 0
 		for ji < len(jobs) || len(queue) > 0 {
+			if events%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return Metrics{}, err
+				}
+			}
+			events++
 			// Advance to the next event: arrival or completion.
 			nextArr := math.Inf(1)
 			if ji < len(jobs) {

@@ -1,6 +1,7 @@
 package multithread
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestArrivalsValidation(t *testing.T) {
 		{Jobs: 1, MeanInterarrival: 1, MeanWork: 1, Weights: []float64{1}},
 	}
 	for i, a := range bad {
-		if _, err := Simulate(sys, a, StallForDesignated); err == nil {
+		if _, err := Simulate(context.Background(), sys, a, StallForDesignated); err == nil {
 			t.Errorf("case %d: accepted invalid arrivals", i)
 		}
 	}
@@ -93,7 +94,7 @@ func TestLightLoadMatchesSingleThreadBehaviour(t *testing.T) {
 	// average service slowdown equals the mean cross-configuration
 	// slowdown of the designations, and turnaround ~= service time.
 	sys := dualCoreSystem(t)
-	met, err := Simulate(sys, lightLoad(), StallForDesignated)
+	met, err := Simulate(context.Background(), sys, lightLoad(), StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,13 +111,13 @@ func TestLightLoadMatchesSingleThreadBehaviour(t *testing.T) {
 
 func TestContentionRaisesTurnaround(t *testing.T) {
 	sys := dualCoreSystem(t)
-	light, err := Simulate(sys, lightLoad(), StallForDesignated)
+	light, err := Simulate(context.Background(), sys, lightLoad(), StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
 	heavy := lightLoad()
 	heavy.MeanInterarrival = 20 // ~2.5 jobs' worth of work arriving per slot
-	hm, err := Simulate(sys, heavy, StallForDesignated)
+	hm, err := Simulate(context.Background(), sys, heavy, StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestNextBestRedirectsUnderContention(t *testing.T) {
 	arr := lightLoad()
 	arr.MeanInterarrival = 15
 	arr.Burstiness = 2
-	stall, err := Simulate(sys, arr, StallForDesignated)
+	stall, err := Simulate(context.Background(), sys, arr, StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
-	next, err := Simulate(sys, arr, NextBestAvailable)
+	next, err := Simulate(context.Background(), sys, arr, NextBestAvailable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,12 +167,12 @@ func TestBurstinessErodesHeterogeneityBenefit(t *testing.T) {
 	arr := lightLoad()
 	arr.Jobs = 1500
 	arr.MeanInterarrival = 30
-	smooth, err := Simulate(sys, arr, NextBestAvailable)
+	smooth, err := Simulate(context.Background(), sys, arr, NextBestAvailable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	arr.Burstiness = 4
-	bursty, err := Simulate(sys, arr, NextBestAvailable)
+	bursty, err := Simulate(context.Background(), sys, arr, NextBestAvailable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +187,11 @@ func TestBurstinessErodesHeterogeneityBenefit(t *testing.T) {
 
 func TestSimulateDeterministic(t *testing.T) {
 	sys := dualCoreSystem(t)
-	a, err := Simulate(sys, lightLoad(), NextBestAvailable)
+	a, err := Simulate(context.Background(), sys, lightLoad(), NextBestAvailable)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Simulate(sys, lightLoad(), NextBestAvailable)
+	b, err := Simulate(context.Background(), sys, lightLoad(), NextBestAvailable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestSystemFromPartitionRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulation must run on the partitioned system.
-	met, err := Simulate(sys, lightLoad(), StallForDesignated)
+	met, err := Simulate(context.Background(), sys, lightLoad(), StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func BenchmarkSimulateNextBest(b *testing.B) {
 	arr.MeanInterarrival = 25
 	arr.Burstiness = 1
 	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(sys, arr, NextBestAvailable); err != nil {
+		if _, err := Simulate(context.Background(), sys, arr, NextBestAvailable); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,6 +15,7 @@
 package regression
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -180,17 +181,17 @@ func (m *Model) Predict(c sim.Config) float64 {
 }
 
 // CollectSamples simulates a workload on every configuration, in parallel
-// on the shared evaluation engine, producing training data. Configurations
-// already simulated at this budget (by exploration or an earlier sampling
-// round) are served from the engine's cache.
-func CollectSamples(p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]Sample, error) {
+// on eng's pool, producing training data. Configurations already simulated
+// at this budget (by exploration or an earlier sampling round) are served
+// from the engine's cache. Cancelling ctx stops dispatching between
+// samples and returns the context's error.
+func CollectSamples(ctx context.Context, eng *evalengine.Engine, p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]Sample, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("regression: no configurations")
 	}
 	samples := make([]Sample, len(configs))
-	eng := evalengine.Default()
-	if err := eng.Pool().Map(len(configs), func(i int) error {
-		ev, err := eng.Evaluate(configs[i], p, instr, t, power.ObjIPT)
+	if err := eng.Pool().Map(ctx, len(configs), func(i int) error {
+		ev, err := eng.Evaluate(ctx, configs[i], p, instr, t, power.ObjIPT)
 		if err != nil {
 			return err
 		}

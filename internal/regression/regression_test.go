@@ -1,15 +1,20 @@
 package regression
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/workload"
 )
+
+// eng is the package-test engine CollectSamples runs through.
+var eng = evalengine.New(evalengine.Options{})
 
 // syntheticSamples builds samples whose IPT is an exact linear function of
 // the configuration features, letting tests check recovery.
@@ -98,7 +103,7 @@ func realSamples(t *testing.T, name string, configs []sim.Config, instr int) []S
 	if !ok {
 		t.Fatalf("no workload %s", name)
 	}
-	samples, err := CollectSamples(p, configs, instr, tech.Default())
+	samples, err := CollectSamples(context.Background(), eng, p, configs, instr, tech.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +212,7 @@ func TestSolveKnownSystem(t *testing.T) {
 
 func TestCollectSamplesValidation(t *testing.T) {
 	p, _ := workload.ByName("gzip")
-	if _, err := CollectSamples(p, nil, 1000, tech.Default()); err == nil {
+	if _, err := CollectSamples(context.Background(), eng, p, nil, 1000, tech.Default()); err == nil {
 		t.Error("accepted empty config list")
 	}
 }

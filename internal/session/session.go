@@ -1,0 +1,118 @@
+// Package session owns one complete, isolated instance of the evaluation
+// stack: a memoized engine (cache + trace store + worker pool) plus the
+// telemetry hooks wired to it. Before this package existed the engine was
+// a process-wide singleton (evalengine.Default()); a Session makes the
+// same sharing an explicit, injectable value instead, so tests, servers
+// and tools can run isolated sessions side by side — two sessions never
+// share a cache, a pool, or an observer.
+//
+// The xpscalar facade preserves its zero-config API by delegating to a
+// lazily created default session (Default); everything underneath takes
+// the session — or its engine — explicitly.
+package session
+
+import (
+	"context"
+	"sync"
+
+	"xpscalar/internal/core"
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/explore"
+	"xpscalar/internal/power"
+	"xpscalar/internal/regression"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
+	"xpscalar/internal/workload"
+)
+
+// Options configures a Session. The zero value selects defaults.
+type Options struct {
+	// Engine sizes the session's evaluation engine (cache entries,
+	// shards, trace cap, pool workers).
+	Engine evalengine.Options
+}
+
+// Session is one instance of the evaluation stack. Safe for concurrent
+// use; all methods share the session's engine, so redundant points
+// requested by different layers (an annealing chain and a matrix cell,
+// say) are simulated once per session.
+type Session struct {
+	engine *evalengine.Engine
+}
+
+// New constructs an isolated session.
+func New(o Options) *Session {
+	return &Session{engine: evalengine.New(o.Engine)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSess *Session
+)
+
+// Default returns the lazily created process-default session, the one the
+// xpscalar facade's zero-config API runs on. Code that wants isolation —
+// tests, servers hosting several tenants — should construct its own with
+// New instead.
+func Default() *Session {
+	defaultOnce.Do(func() { defaultSess = New(Options{}) })
+	return defaultSess
+}
+
+// Engine returns the session's evaluation engine.
+func (s *Session) Engine() *evalengine.Engine { return s.engine }
+
+// Pool returns the session's worker pool, the fan-out primitive every
+// simulation caller in the session shares.
+func (s *Session) Pool() *evalengine.Pool { return s.engine.Pool() }
+
+// Stats snapshots the session engine's counters.
+func (s *Session) Stats() evalengine.Stats { return s.engine.Stats() }
+
+// ResetStats zeroes the session engine's counters (caches are kept).
+func (s *Session) ResetStats() { s.engine.ResetStats() }
+
+// EnableTelemetry registers the session engine's counters and histograms
+// with a metrics registry.
+func (s *Session) EnableTelemetry(reg *telemetry.Registry) { s.engine.EnableTelemetry(reg) }
+
+// SetEvalObserver installs (or, with nil, removes) the per-request
+// evaluation observer on the session's engine.
+func (s *Session) SetEvalObserver(o evalengine.EvalObserver) { s.engine.SetEvalObserver(o) }
+
+// Evaluate runs one memoized evaluation on the session's engine.
+func (s *Session) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (evalengine.Eval, error) {
+	return s.engine.Evaluate(ctx, cfg, p, budget, t, obj)
+}
+
+// Explore runs the annealing search for one workload on this session.
+// opt.Engine is overridden with the session's engine.
+func (s *Session) Explore(ctx context.Context, p workload.Profile, opt explore.Options) (explore.Outcome, error) {
+	opt.Engine = s.engine
+	return explore.Workload(ctx, p, opt)
+}
+
+// ExploreSuite explores every profile on this session (with the paper's
+// cross-seeding round). opt.Engine is overridden with the session's
+// engine. On cancellation it returns the completed outcomes alongside the
+// context's error.
+func (s *Session) ExploreSuite(ctx context.Context, profiles []workload.Profile, opt explore.Options) ([]explore.Outcome, error) {
+	opt.Engine = s.engine
+	return explore.Suite(ctx, profiles, opt)
+}
+
+// CrossMatrix builds the cross-configuration IPT matrix on this session.
+func (s *Session) CrossMatrix(ctx context.Context, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*core.Matrix, error) {
+	return core.BuildMatrix(ctx, s.engine, profiles, configs, n, t)
+}
+
+// CrossMatrixObserved is CrossMatrix with a per-cell completion callback.
+func (s *Session) CrossMatrixObserved(ctx context.Context, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params, cell core.CellFunc) (*core.Matrix, error) {
+	return core.BuildMatrixObserved(ctx, s.engine, profiles, configs, n, t, cell)
+}
+
+// CollectSamples gathers regression training data on this session.
+func (s *Session) CollectSamples(ctx context.Context, p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]regression.Sample, error) {
+	return regression.CollectSamples(ctx, s.engine, p, configs, instr, t)
+}

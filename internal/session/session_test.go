@@ -1,0 +1,81 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"xpscalar/internal/explore"
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// exploreTinyOptions keeps the session-level exploration test fast. No
+// Engine is set: wiring it is the session's job.
+func exploreTinyOptions(seed int64) explore.Options {
+	o := explore.DefaultOptions(seed)
+	o.Iterations = 10
+	o.Chains = 1
+	o.ShortBudget = 2000
+	o.LongBudget = 4000
+	return o
+}
+
+// TestSessionsAreIsolated: two sessions never share an engine — the same
+// design point simulates once per session and the counters stay separate.
+func TestSessionsAreIsolated(t *testing.T) {
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p, _ := workload.ByName("gzip")
+
+	a, b := New(Options{}), New(Options{})
+	if a.Engine() == b.Engine() {
+		t.Fatal("two sessions share one engine")
+	}
+	for _, s := range []*Session{a, b} {
+		if _, err := s.Evaluate(context.Background(), cfg, p, 3000, tp, power.ObjIPT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa.Misses != 1 || sb.Misses != 1 {
+		t.Fatalf("each session must simulate the point itself: a=%+v b=%+v", sa, sb)
+	}
+
+	// Re-evaluating within one session hits its cache.
+	if _, err := a.Evaluate(context.Background(), cfg, p, 3000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	if sa := a.Stats(); sa.Hits != 1 {
+		t.Fatalf("session cache did not serve the repeat: %+v", sa)
+	}
+}
+
+// TestDefaultIsOneSession: the process-default session is created once and
+// returned thereafter.
+func TestDefaultIsOneSession(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned distinct sessions")
+	}
+}
+
+// TestSessionExploreWiresEngine: Explore injects the session's engine into
+// the options, so callers never have to.
+func TestSessionExploreWiresEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing run")
+	}
+	s := New(Options{})
+	p, _ := workload.ByName("gzip")
+	opt := exploreTinyOptions(3)
+	out, err := s.Explore(context.Background(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BestIPT <= 0 {
+		t.Fatal("exploration found nothing")
+	}
+	if st := s.Stats(); st.Requests == 0 {
+		t.Fatal("exploration did not run through the session's engine")
+	}
+}

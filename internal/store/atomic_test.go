@@ -1,0 +1,96 @@
+// The atomic-write discipline: a failed or interrupted save must leave the
+// previous artifact untouched and no temporary files behind.
+
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpscalar/internal/explore"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+)
+
+// TestWriteAtomicFailureKeepsOldFile: when the write callback fails after
+// emitting partial bytes, the previous file survives byte for byte and the
+// temporary file is cleaned up.
+func TestWriteAtomicFailureKeepsOldFile(t *testing.T) {
+	tp := tech.Default()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outs.json")
+	outs := []explore.Outcome{
+		{Workload: "gzip", Best: sim.InitialConfig(tp), BestIPT: 1.5, BestScore: 1.5, Evaluations: 7},
+	}
+	if err := SaveOutcomes(path, outs); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk on fire")
+	err = writeAtomic(path, func(w io.Writer) error {
+		// Partial garbage first — exactly what a crash mid-encode leaves.
+		if _, werr := w.Write([]byte(`{"format":"trunc`)); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("writeAtomic returned %v, want the write error", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous file gone after failed write: %v", err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("failed write corrupted the previous file:\n got %s\nwant %s", after, before)
+	}
+	// The artifact still loads.
+	got, err := LoadOutcomes(path, tp)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("previous artifact unreadable after failed write: %v (%d outcomes)", err, len(got))
+	}
+	// No temporary files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestSaveOutcomesOverwritesAtomically: a successful save over an existing
+// file replaces it completely.
+func TestSaveOutcomesOverwritesAtomically(t *testing.T) {
+	tp := tech.Default()
+	path := filepath.Join(t.TempDir(), "outs.json")
+	first := []explore.Outcome{{Workload: "gzip", Best: sim.InitialConfig(tp), BestIPT: 1}}
+	second := []explore.Outcome{
+		{Workload: "mcf", Best: sim.InitialConfig(tp), BestIPT: 0.5},
+		{Workload: "vpr", Best: sim.InitialConfig(tp), BestIPT: 0.8},
+	}
+	if err := SaveOutcomes(path, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveOutcomes(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOutcomes(path, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Workload != "mcf" || got[1].Workload != "vpr" {
+		t.Fatalf("overwrite lost data: %+v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"xpscalar/internal/core"
 	"xpscalar/internal/explore"
@@ -124,17 +125,49 @@ func ReadOutcomes(r io.Reader, t tech.Params) ([]explore.Outcome, error) {
 	return outs, nil
 }
 
-// SaveOutcomes writes outcomes to a file.
-func SaveOutcomes(path string, outs []explore.Outcome) error {
-	f, err := os.Create(path)
+// writeAtomic writes an artifact through write and installs it at path
+// atomically: the bytes go to a temporary file in path's directory, are
+// fsynced, and only then renamed over path. A crash, interrupt or write
+// failure at any point leaves the previous file (if any) untouched — an
+// interrupted save can never expose a truncated or corrupt artifact.
+func writeAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	if err := WriteOutcomes(f, outs); err != nil {
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Best effort: persist the rename itself. Not all platforms support
+	// fsync on directories; the data file is already durable either way.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveOutcomes writes outcomes to a file, atomically (see writeAtomic).
+func SaveOutcomes(path string, outs []explore.Outcome) error {
+	return writeAtomic(path, func(w io.Writer) error {
+		return WriteOutcomes(w, outs)
+	})
 }
 
 // LoadOutcomes reads outcomes from a file.
@@ -174,17 +207,11 @@ func ReadMatrix(r io.Reader) (*core.Matrix, error) {
 	return core.NewMatrix(f.Names, f.IPT)
 }
 
-// SaveMatrix writes a matrix to a file.
+// SaveMatrix writes a matrix to a file, atomically (see writeAtomic).
 func SaveMatrix(path string, m *core.Matrix) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if err := WriteMatrix(f, m); err != nil {
-		return err
-	}
-	return f.Close()
+	return writeAtomic(path, func(w io.Writer) error {
+		return WriteMatrix(w, m)
+	})
 }
 
 // LoadMatrix reads a matrix from a file.

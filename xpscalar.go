@@ -26,6 +26,7 @@
 package xpscalar
 
 import (
+	"context"
 	"io"
 
 	"xpscalar/internal/core"
@@ -34,6 +35,7 @@ import (
 	"xpscalar/internal/multithread"
 	"xpscalar/internal/paperdata"
 	"xpscalar/internal/power"
+	"xpscalar/internal/session"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/subsetting"
 	"xpscalar/internal/tech"
@@ -169,21 +171,34 @@ func Run(c Config, p Profile, n int, t TechParams) (Result, error) { return sim.
 func DefaultExploreOptions(seed int64) ExploreOptions { return explore.DefaultOptions(seed) }
 
 // Explore searches for the customized configuration of one workload.
-func Explore(p Profile, opt ExploreOptions) (Outcome, error) { return explore.Workload(p, opt) }
+// Cancelling ctx stops every annealing chain at its next iteration.
+// When opt.Engine is nil the search runs on the default session.
+func Explore(ctx context.Context, p Profile, opt ExploreOptions) (Outcome, error) {
+	if opt.Engine == nil {
+		return session.Default().Explore(ctx, p, opt)
+	}
+	return explore.Workload(ctx, p, opt)
+}
 
 // ExploreSuite explores every profile in parallel and applies the paper's
-// cross-seeding rule.
-func ExploreSuite(profiles []Profile, opt ExploreOptions) ([]Outcome, error) {
-	return explore.Suite(profiles, opt)
+// cross-seeding rule. On cancellation it returns the outcomes of the
+// workloads that had completed alongside the context's error. When
+// opt.Engine is nil the search runs on the default session.
+func ExploreSuite(ctx context.Context, profiles []Profile, opt ExploreOptions) ([]Outcome, error) {
+	if opt.Engine == nil {
+		return session.Default().ExploreSuite(ctx, profiles, opt)
+	}
+	return explore.Suite(ctx, profiles, opt)
 }
 
 // NewMatrix wraps a cross-configuration IPT matrix.
 func NewMatrix(names []string, ipt [][]float64) (*Matrix, error) { return core.NewMatrix(names, ipt) }
 
-// CrossMatrix simulates every workload on every configuration and returns
-// the cross-configuration matrix (the step from Table 4 to Table 5).
-func CrossMatrix(profiles []Profile, configs []Config, n int, t TechParams) (*Matrix, error) {
-	return core.BuildMatrix(profiles, configs, n, t)
+// CrossMatrix simulates every workload on every configuration on the
+// default session and returns the cross-configuration matrix (the step
+// from Table 4 to Table 5).
+func CrossMatrix(ctx context.Context, profiles []Profile, configs []Config, n int, t TechParams) (*Matrix, error) {
+	return session.Default().CrossMatrix(ctx, profiles, configs, n, t)
 }
 
 // PaperMatrix returns the paper's published Table 5.
@@ -203,9 +218,10 @@ func MTSystemFromSelection(m *Matrix, sel []int) (MTSystem, error) {
 	return multithread.SystemFromSelection(m, sel)
 }
 
-// MTSimulate runs a job stream against a heterogeneous CMP.
-func MTSimulate(sys MTSystem, arr MTArrivals, policy multithread.Policy) (MTMetrics, error) {
-	return multithread.Simulate(sys, arr, policy)
+// MTSimulate runs a job stream against a heterogeneous CMP. Cancelling
+// ctx aborts the event loop promptly.
+func MTSimulate(ctx context.Context, sys MTSystem, arr MTArrivals, policy multithread.Policy) (MTMetrics, error) {
+	return multithread.Simulate(ctx, sys, arr, policy)
 }
 
 // BPMST partitions workloads into k balanced groups over the
@@ -250,17 +266,38 @@ func EvaluatePower(res Result, t TechParams) (PowerReport, error) { return power
 type (
 	// EvalStats snapshots the engine's hit/miss/dedup/trace counters.
 	EvalStats = evalengine.Stats
+	// Engine is the memoized evaluation engine itself, for callers that
+	// inject one directly (e.g. into ExploreOptions.Engine).
+	Engine = evalengine.Engine
+	// EngineOptions sizes an engine.
+	EngineOptions = evalengine.Options
+	// Session is one isolated instance of the evaluation stack: engine,
+	// trace store, worker pool and telemetry hooks. Two sessions never
+	// share a cache or a pool.
+	Session = session.Session
+	// SessionOptions configures a Session.
+	SessionOptions = session.Options
 )
 
-// EngineStats returns the shared evaluation engine's counters: how many
+// NewSession constructs an isolated evaluation session. The zero-config
+// package-level functions (Explore, CrossMatrix, ...) run on the lazily
+// created default session; use a Session of your own for isolation —
+// tests, servers hosting several tenants, side-by-side experiments.
+func NewSession(o SessionOptions) *Session { return session.New(o) }
+
+// DefaultSession returns the process-default session the zero-config API
+// delegates to.
+func DefaultSession() *Session { return session.Default() }
+
+// EngineStats returns the default session engine's counters: how many
 // evaluation requests were served from cache or deduplicated against an
 // in-flight simulation, and how much instruction-stream generation was
 // reused.
-func EngineStats() EvalStats { return evalengine.Default().Stats() }
+func EngineStats() EvalStats { return session.Default().Stats() }
 
-// ResetEngineStats zeroes the shared engine's counters (its caches are
-// kept), so one phase's savings can be measured in isolation.
-func ResetEngineStats() { evalengine.Default().ResetStats() }
+// ResetEngineStats zeroes the default session engine's counters (its
+// caches are kept), so one phase's savings can be measured in isolation.
+func ResetEngineStats() { session.Default().ResetStats() }
 
 // Fit-to-clock sizing helpers (paper §3, Figure 2): the largest structure
 // whose access time fits the product of clock period and pipeline depth,

@@ -1,6 +1,7 @@
 package xpscalar
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	opt.Chains = 1
 	opt.ShortBudget = 2000
 	opt.LongBudget = 4000
-	out, err := Explore(gzip, opt)
+	out, err := Explore(context.Background(), gzip, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	mcf, _ := WorkloadByName("mcf")
-	m, err := CrossMatrix([]Profile{gzip, mcf}, []Config{out.Best, out.Best}, 5_000, tech)
+	m, err := CrossMatrix(context.Background(), []Profile{gzip, mcf}, []Config{out.Best, out.Best}, 5_000, tech)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFacadePaperAnalyses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met, err := MTSimulate(sys, MTArrivals{Jobs: 200, MeanInterarrival: 50, MeanWork: 40, Seed: 1}, StallForDesignated)
+	met, err := MTSimulate(context.Background(), sys, MTArrivals{Jobs: 200, MeanInterarrival: 50, MeanWork: 40, Seed: 1}, StallForDesignated)
 	if err != nil {
 		t.Fatal(err)
 	}
