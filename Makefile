@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench verify clean
+.PHONY: all build test vet race race-hot bench bench-smoke verify clean
 
 all: build
 
@@ -23,9 +23,17 @@ race-hot:
 
 # bench reports the headline reproduction metrics plus the evaluation
 # engine's cache hit rate and sim-latency quantiles (cacheHit%, simP50ms,
-# simP95ms).
+# simP95ms), then re-records the kernel benchmark set into
+# BENCH_kernel.json (ns/op, allocs/op, and speedup over the recorded
+# pre-rework baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'Table4|Table5' -benchtime=1x .
+	$(GO) run ./cmd/benchjson -out BENCH_kernel.json -benchtime 3x
+
+# bench-smoke runs every benchmark in the tree exactly once: a cheap guard
+# that benchmark code compiles and completes, without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # verify is the pre-merge gate: static checks, a full build, the test
 # suite under the race detector, and one pass of the headline reproduction

@@ -368,6 +368,35 @@ func BenchmarkAblationWakeupLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnealChainKernel is the kernel macro-benchmark: one full
+// annealing chain on a fresh session per iteration, so the memo cache
+// starts cold and every step pays a real simulation. It isolates the
+// steady-state evaluate path — trace replay feeding the pipeline kernel —
+// that the allocation-free kernel rework targets; BENCH_kernel.json records
+// its trajectory.
+func BenchmarkAnnealChainKernel(b *testing.B) {
+	gzip, _ := WorkloadByName("gzip")
+	opt := DefaultExploreOptions(42)
+	opt.Iterations = 30
+	opt.Chains = 1
+	opt.ShortBudget = 4000
+	opt.LongBudget = 8000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sims uint64
+	for i := 0; i < b.N; i++ {
+		s := NewSession(SessionOptions{})
+		if _, err := s.Explore(context.Background(), gzip, opt); err != nil {
+			b.Fatal(err)
+		}
+		sims = s.Stats().Misses
+	}
+	b.StopTimer()
+	if sims > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(sims), "ns/sim")
+	}
+}
+
 // BenchmarkAnnealLoopCtxCheck pins the cost of the per-iteration
 // cancellation point the annealing inner loop now pays: one ctx.Err() call
 // on a live (uncancelled) cancellable context. It reports the per-check

@@ -1,0 +1,165 @@
+// Command benchjson runs the simulation-kernel benchmark set and records
+// the results as JSON, alongside the baseline numbers captured before the
+// allocation-free kernel rework. The committed BENCH_kernel.json is this
+// tool's output: re-run it after kernel changes (`make bench`) so the
+// recorded numbers always describe the tree they sit in.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_kernel.json] [-benchtime 3x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is the kernel benchmark set: the macro annealing chain, the
+// sim-level evaluation, the raw pipeline loop, and the steady-state
+// reusable-runner path that the evaluation engine rides.
+var suite = []struct {
+	pkg     string
+	pattern string
+}{
+	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState"},
+	{"./internal/pipeline", "BenchmarkPipelineGCC"},
+	{".", "BenchmarkAnnealChainKernel"},
+}
+
+// baseline is the seed kernel measured on the same machine class before the
+// rework (batched delivery, arena reuse, pow2 rings). RunnerSteadyState did
+// not exist then; the closest seed equivalent is RunInitialConfigGzip20k,
+// which paid full per-run construction.
+var baseline = []Benchmark{
+	{Name: "BenchmarkRunInitialConfigGzip20k", Package: "./internal/sim",
+		Metrics: map[string]float64{"ns/op": 21706735, "B/op": 3670486, "allocs/op": 21155}},
+	{Name: "BenchmarkPipelineGCC", Package: "./internal/pipeline",
+		Metrics: map[string]float64{"ns/op": 10815560, "B/op": 3751961, "allocs/op": 21447}},
+	{Name: "BenchmarkAnnealChainKernel", Package: ".",
+		Metrics: map[string]float64{"ns/op": 341775966, "ns/sim": 11392532, "B/op": 85311372, "allocs/op": 189488}},
+}
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int                `json:"iterations,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the document written to the output file.
+type Report struct {
+	Generated string      `json:"generated"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	Benchtime string      `json:"benchtime"`
+	Baseline  []Benchmark `json:"baseline"`
+	Current   []Benchmark `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "output file")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	flag.Parse()
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+		Baseline:  baseline,
+	}
+	for _, s := range suite {
+		results, err := run(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		rep.Current = append(rep.Current, results...)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Current))
+	for _, b := range rep.Current {
+		fmt.Printf("  %-36s %s\n", b.Name, summarize(b, rep.Baseline))
+	}
+}
+
+// run executes one `go test -bench` invocation and parses its result lines.
+func run(pkg, pattern, benchtime string) ([]Benchmark, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, pkg)
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, outBytes)
+	}
+	var results []Benchmark
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		results = append(results, b)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", outBytes)
+	}
+	return results, nil
+}
+
+// parseLine parses one result line of the standard benchmark format:
+// name, iteration count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		// Strip the trailing -N GOMAXPROCS suffix if present.
+		Name:       strings.SplitN(fields[0], "-", 2)[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// summarize renders the headline metrics and the speedup over the baseline
+// entry of the same name, when one exists.
+func summarize(b Benchmark, base []Benchmark) string {
+	s := fmt.Sprintf("%.2fms/op  %.0f allocs/op", b.Metrics["ns/op"]/1e6, b.Metrics["allocs/op"])
+	for _, bl := range base {
+		if bl.Name == b.Name && bl.Metrics["ns/op"] > 0 && b.Metrics["ns/op"] > 0 {
+			s += fmt.Sprintf("  (%.2fx vs baseline)", bl.Metrics["ns/op"]/b.Metrics["ns/op"])
+		}
+	}
+	return s
+}

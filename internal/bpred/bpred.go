@@ -77,6 +77,11 @@ type Predictor interface {
 	Update(pc uint64, taken bool)
 	// Stats returns cumulative prediction counts.
 	Stats() Stats
+	// Reset returns the predictor to its just-constructed state —
+	// counter tables re-initialized, history and statistics cleared — so
+	// one predictor's tables can be reused across independent runs
+	// instead of reallocated.
+	Reset()
 }
 
 // Stats counts predictor outcomes.
@@ -141,6 +146,7 @@ func (s *static) Update(_ uint64, taken bool) {
 	}
 }
 func (s *static) Stats() Stats { return s.stats }
+func (s *static) Reset()       { s.stats = Stats{} }
 
 type bimodal struct {
 	table []uint8
@@ -180,6 +186,14 @@ func (b *bimodal) Update(pc uint64, taken bool) {
 }
 
 func (b *bimodal) Stats() Stats { return b.stats }
+
+func (b *bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2 // weakly taken, as at construction
+	}
+	b.lastPred = false
+	b.stats = Stats{}
+}
 
 type gshare struct {
 	table    []uint8
@@ -221,6 +235,15 @@ func (g *gshare) Update(pc uint64, taken bool) {
 }
 
 func (g *gshare) Stats() Stats { return g.stats }
+
+func (g *gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.hist = 0
+	g.lastPred = false
+	g.stats = Stats{}
+}
 
 func b2u(b bool) uint64 {
 	if b {
@@ -269,3 +292,11 @@ func (c *combined) Update(pc uint64, taken bool) {
 }
 
 func (c *combined) Stats() Stats { return c.stats }
+
+func (c *combined) Reset() {
+	c.bim.Reset()
+	c.gsh.Reset()
+	clear(c.sel)
+	c.lastBim, c.lastGsh, c.lastPred = false, false, false
+	c.stats = Stats{}
+}

@@ -67,10 +67,17 @@ type line struct {
 
 // Cache is one set-associative, write-back, write-allocate cache level.
 // It is not safe for concurrent use.
+//
+// The line array is flat (sets*assoc entries, row-major by set) and both
+// geometry dimensions are powers of two, so an access is two shifts and a
+// mask — the index arithmetic is precomputed once at construction, never
+// per probe.
 type Cache struct {
 	geom      timing.CacheGeom
 	sets      []line // sets*assoc lines, row-major by set
-	blockBits uint
+	blockBits uint   // log2(BlockBytes)
+	setBits   uint   // log2(Sets)
+	tagShift  uint   // blockBits + setBits: address -> tag
 	setMask   uint64
 	tick      uint64
 	stats     Stats
@@ -89,6 +96,8 @@ func New(geom timing.CacheGeom) (*Cache, error) {
 	for b := geom.BlockBytes; b > 1; b >>= 1 {
 		c.blockBits++
 	}
+	c.setBits = uint(log2(geom.Sets))
+	c.tagShift = c.blockBits + c.setBits
 	return c, nil
 }
 
@@ -98,11 +107,10 @@ func (c *Cache) Geom() timing.CacheGeom { return c.geom }
 // Stats returns cumulative access statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics, returning the cache to its
+// just-constructed state without reallocating the line array.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		c.sets[i] = line{}
-	}
+	clear(c.sets)
 	c.tick = 0
 	c.stats = Stats{}
 }
@@ -114,7 +122,7 @@ func (c *Cache) access(addr uint64, write bool) (hit, writeback bool, victimAddr
 	c.stats.Accesses++
 	c.tick++
 	set := (addr >> c.blockBits) & c.setMask
-	tag := addr >> c.blockBits >> uint(log2(c.geom.Sets))
+	tag := addr >> c.tagShift
 	ways := c.sets[set*uint64(c.geom.Assoc) : (set+1)*uint64(c.geom.Assoc)]
 	for i := range ways {
 		w := &ways[i]
@@ -141,7 +149,7 @@ func (c *Cache) access(addr uint64, write bool) (hit, writeback bool, victimAddr
 	v := &ways[victim]
 	if v.valid && v.dirty {
 		writeback = true
-		victimAddr = (v.tag<<uint(log2(c.geom.Sets)) | set) << c.blockBits
+		victimAddr = (v.tag<<c.setBits | set) << c.blockBits
 		c.stats.Writebacks++
 	}
 	*v = line{tag: tag, valid: true, dirty: write, lru: c.tick}
@@ -152,7 +160,7 @@ func (c *Cache) access(addr uint64, write bool) (hit, writeback bool, victimAddr
 // perturbing LRU state or statistics. Intended for tests.
 func (c *Cache) Contains(addr uint64) bool {
 	set := (addr >> c.blockBits) & c.setMask
-	tag := addr >> c.blockBits >> uint(log2(c.geom.Sets))
+	tag := addr >> c.tagShift
 	ways := c.sets[set*uint64(c.geom.Assoc) : (set+1)*uint64(c.geom.Assoc)]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {

@@ -67,6 +67,11 @@ type Engine struct {
 	traces *traceStore
 	pool   *Pool
 
+	// runners pools *sim.Runner scratch state (pipeline arenas, predictor
+	// tables, cache arrays) across uncached simulations, so steady-state
+	// evaluation allocates nothing per run.
+	runners sync.Pool
+
 	requests atomic.Uint64
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -140,6 +145,12 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
 		func() float64 { return float64(e.traces.bypasses.Load()) })
 	reg.Func("xpscalar_trace_evictions_total", "profile streams evicted from the trace store", "counter",
 		func() float64 { return float64(e.traces.evictions.Load()) })
+	reg.Func("xpscalar_trace_batch_serves_total", "NextBatch calls served by replay sources", "counter",
+		func() float64 { return float64(e.traces.batchCalls.Load()) })
+	reg.Func("xpscalar_trace_batch_instr_total", "instructions delivered through the batched replay path", "counter",
+		func() float64 { return float64(e.traces.batchInstr.Load()) })
+	reg.Func("xpscalar_trace_scalar_instr_total", "instructions delivered one at a time by replay sources", "counter",
+		func() float64 { return float64(e.traces.scalarInstr.Load()) })
 	reg.Func("xpscalar_pool_maps_total", "Pool.Map fan-out calls", "counter",
 		func() float64 { return float64(e.pool.maps.Load()) })
 	reg.Func("xpscalar_pool_jobs_total", "jobs executed by the worker pool", "counter",
@@ -171,6 +182,7 @@ func New(o Options) *Engine {
 		traces: newTraceStore(o.TraceCapInstr),
 		pool:   NewPool(o.Workers),
 	}
+	e.runners.New = func() any { return new(sim.Runner) }
 	per := o.CacheEntries / o.Shards
 	if per < 1 {
 		per = 1
@@ -333,7 +345,9 @@ func (e *Engine) compute(cfg sim.Config, p workload.Profile, budget int, t tech.
 	if err != nil {
 		return Eval{}, err
 	}
-	r, err := sim.RunSource(cfg, src, p.Name, budget, t)
+	runner := e.runners.Get().(*sim.Runner)
+	r, err := runner.RunSource(cfg, src, p.Name, budget, t)
+	e.runners.Put(runner)
 	if err != nil {
 		return Eval{}, err
 	}
@@ -361,6 +375,12 @@ type Stats struct {
 	// TraceBypasses the requests too large to cache; TraceEvictions the
 	// profile streams evicted.
 	TraceInstr, TraceReplays, TraceBypasses, TraceEvictions uint64
+	// TraceBatchCalls counts NextBatch calls served by replay sources;
+	// TraceBatchInstr the instructions they delivered; TraceScalarInstr the
+	// instructions delivered one at a time through scalar Next. A healthy
+	// batched fetch path shows BatchInstr/BatchCalls near the pipeline's
+	// slab size and ScalarInstr near zero.
+	TraceBatchCalls, TraceBatchInstr, TraceScalarInstr uint64
 }
 
 // Saved is the number of simulations avoided: requests answered without
@@ -376,24 +396,27 @@ func (s Stats) HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses",
+	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses, %d batch-served (%d calls), %d scalar-served",
 		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions, s.CacheEntries,
-		s.TraceInstr, s.TraceReplays, s.TraceBypasses)
+		s.TraceInstr, s.TraceReplays, s.TraceBypasses, s.TraceBatchInstr, s.TraceBatchCalls, s.TraceScalarInstr)
 }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Requests:       e.requests.Load(),
-		Hits:           e.hits.Load(),
-		Deduped:        e.deduped.Load(),
-		Misses:         e.misses.Load(),
-		Evictions:      e.evicted.Load(),
-		CacheEntries:   uint64(e.CacheEntries()),
-		TraceInstr:     e.traces.built.Load(),
-		TraceReplays:   e.traces.replays.Load(),
-		TraceBypasses:  e.traces.bypasses.Load(),
-		TraceEvictions: e.traces.evictions.Load(),
+		Requests:         e.requests.Load(),
+		Hits:             e.hits.Load(),
+		Deduped:          e.deduped.Load(),
+		Misses:           e.misses.Load(),
+		Evictions:        e.evicted.Load(),
+		CacheEntries:     uint64(e.CacheEntries()),
+		TraceInstr:       e.traces.built.Load(),
+		TraceReplays:     e.traces.replays.Load(),
+		TraceBypasses:    e.traces.bypasses.Load(),
+		TraceEvictions:   e.traces.evictions.Load(),
+		TraceBatchCalls:  e.traces.batchCalls.Load(),
+		TraceBatchInstr:  e.traces.batchInstr.Load(),
+		TraceScalarInstr: e.traces.scalarInstr.Load(),
 	}
 }
 
@@ -409,4 +432,7 @@ func (e *Engine) ResetStats() {
 	e.traces.replays.Store(0)
 	e.traces.bypasses.Store(0)
 	e.traces.evictions.Store(0)
+	e.traces.batchCalls.Store(0)
+	e.traces.batchInstr.Store(0)
+	e.traces.scalarInstr.Store(0)
 }

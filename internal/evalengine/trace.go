@@ -31,6 +31,15 @@ type traceStore struct {
 	replays   atomic.Uint64 // sources served from cached streams
 	bypasses  atomic.Uint64 // requests too large to cache
 	evictions atomic.Uint64 // profile streams evicted
+
+	// Delivery counters, fed by the replay sources this store hands out:
+	// how many instructions reached consumers through the batched
+	// near-memcpy path vs the scalar per-instruction path. Together with
+	// built (generated instructions) they make replay-vs-generate
+	// throughput observable.
+	batchCalls  atomic.Uint64 // NextBatch calls served by replay sources
+	batchInstr  atomic.Uint64 // instructions delivered via NextBatch
+	scalarInstr atomic.Uint64 // instructions delivered via scalar Next
 }
 
 // traceEntry is one profile's materialized stream. The generator and slice
@@ -101,7 +110,7 @@ func (s *traceStore) source(p workload.Profile, n int) (workload.Source, error) 
 	instrs := e.instrs[:n:n]
 	e.mu.Unlock()
 	s.replays.Add(1)
-	return &replaySource{instrs: instrs}, nil
+	return &replaySource{instrs: instrs, store: s}, nil
 }
 
 // grown charges the entry's growth against the store budget and evicts
@@ -133,10 +142,13 @@ func (s *traceStore) grown(e *traceEntry, n int) {
 
 // replaySource replays a materialized instruction slice. Like
 // workload.TraceReader it wraps at the end, though the pipeline consumes
-// exactly len(instrs) per evaluation.
+// exactly len(instrs) per evaluation. Deliveries are charged to the owning
+// store's batch/scalar counters (one atomic add per call; the batch path
+// amortizes it over a whole slab).
 type replaySource struct {
 	instrs []workload.Instr
 	pos    int
+	store  *traceStore
 }
 
 func (r *replaySource) Next(ins *workload.Instr) {
@@ -145,4 +157,22 @@ func (r *replaySource) Next(ins *workload.Instr) {
 	if r.pos == len(r.instrs) {
 		r.pos = 0
 	}
+	r.store.scalarInstr.Add(1)
+}
+
+// NextBatch copies the next len(dst) instructions out of the materialized
+// stream — the near-memcpy fast path the pipeline's batched fetch rides.
+func (r *replaySource) NextBatch(dst []workload.Instr) int {
+	n := 0
+	for n < len(dst) {
+		c := copy(dst[n:], r.instrs[r.pos:])
+		n += c
+		r.pos += c
+		if r.pos == len(r.instrs) {
+			r.pos = 0
+		}
+	}
+	r.store.batchCalls.Add(1)
+	r.store.batchInstr.Add(uint64(n))
+	return n
 }

@@ -106,6 +106,11 @@ const (
 	stDone                 // issued; result available at doneAt
 )
 
+// batchSize is the delivery slab: how many instructions one Source.NextBatch
+// call brings into the core. Large enough to amortize the interface call
+// into noise, small enough that the slab stays resident in L1.
+const batchSize = 512
+
 // robEntry is one in-flight instruction. Entries live in a ring indexed by
 // dynamic instruction number.
 type robEntry struct {
@@ -119,25 +124,46 @@ type robEntry struct {
 	addr    uint64
 }
 
-// core carries the transient state of one simulation run.
-type core struct {
+// Core carries the state of one simulation run and owns the scratch arenas
+// — ROB ring, issue-queue slice, fetch ring, delivery slab — that the run
+// works in. The zero value is ready to use; Run sizes (or re-sizes) the
+// arenas to the configuration and reuses whatever capacity earlier runs
+// left behind, so a Core that simulates thousands of design points in an
+// annealing chain allocates only when a new configuration outgrows every
+// previous one. A Core is not safe for concurrent use; callers that fan
+// out keep one per worker (see evalengine's runner pool).
+//
+// Stale arena contents never leak between runs: every ROB slot is fully
+// overwritten at dispatch before any stage reads it, the issue queue and
+// fetch ring are consumed strictly between their cursors, and the delivery
+// slab is read only up to the count the source returned.
+type Core struct {
 	p    Params
 	gen  workload.Source
 	pred bpred.Predictor
 	mem  *cache.Hierarchy
 
-	rob      []robEntry
+	rob      []robEntry // power-of-two ring over absolute instruction index
+	robMask  uint64
 	iq       []uint64 // absolute indices of waiting instructions, in age order
 	lsqCount int
 
 	head, tail uint64 // ROB window: [head+1, tail] are in flight (1-based)
 
-	// Front-end state.
-	fetchQ       []fetched
-	fetchedCount uint64
-	stalled      bool  // fetch blocked on an unresolved mispredict
-	resumeAt     int64 // cycle fetch may resume (stall cleared at issue)
-	total        uint64
+	// Front-end state. The fetch queue is a power-of-two ring consumed at
+	// fqHead and filled at fqTail; occupancy is fqTail-fqHead.
+	fetchQ         []fetched
+	fqMask         uint64
+	fqHead, fqTail uint64
+	fetchedCount   uint64
+	stalled        bool  // fetch blocked on an unresolved mispredict
+	resumeAt       int64 // cycle fetch may resume (stall cleared at issue)
+	total          uint64
+
+	// Delivery slab: instructions pulled from the source in batches.
+	batch              []workload.Instr
+	batchPos, batchLen int
+	delivered          uint64 // instructions pulled from the source so far
 
 	cycle     int64
 	committed uint64
@@ -147,7 +173,6 @@ type core struct {
 
 type fetched struct {
 	ins     workload.Instr
-	idx     uint64
 	readyAt int64 // cycle the instruction reaches dispatch
 	mispred bool
 }
@@ -155,24 +180,87 @@ type fetched struct {
 // Run simulates n instructions of the source's stream on a core with the
 // given parameters, branch predictor and cache hierarchy. The source (a
 // synthetic generator or a trace replay), predictor and hierarchy are
-// consumed (their state advances); pass fresh ones for independent runs.
+// consumed (their state advances by exactly n instructions); pass fresh
+// ones for independent runs. Allocation-free callers reuse a Core via its
+// Run method instead.
 func Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarchy, n int) (Result, error) {
+	var c Core
+	return c.Run(p, gen, pred, mem, n)
+}
+
+// pow2 returns the smallest power of two >= n (n >= 1).
+func pow2(n int) int {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// reset sizes the scratch arenas for the configuration, reusing capacity
+// left by earlier runs, and rewinds all per-run state.
+func (c *Core) reset(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarchy, n int) {
+	c.p = p
+	c.gen = gen
+	c.pred = pred
+	c.mem = mem
+
+	// The ROB ring must hold every index in the fresh window
+	// [tail-ROBSize, tail] without collision, so it needs ROBSize+1
+	// slots, rounded up to a power of two for mask indexing. Slots are
+	// never read before dispatch overwrites them, so stale contents need
+	// no clearing.
+	// Only power-of-two lengths are ever allocated, so a reslice of a
+	// larger previous arena is itself a power of two and mask indexing
+	// stays valid.
+	if need := pow2(p.ROBSize + 1); cap(c.rob) < need {
+		c.rob = make([]robEntry, need)
+	} else {
+		c.rob = c.rob[:need]
+	}
+	c.robMask = uint64(len(c.rob) - 1)
+
+	if cap(c.iq) < p.IQSize {
+		c.iq = make([]uint64, 0, p.IQSize)
+	} else {
+		c.iq = c.iq[:0]
+	}
+
+	maxBuf := (p.FrontEndStages + 2) * p.Width
+	if need := pow2(maxBuf); len(c.fetchQ) < need {
+		c.fetchQ = make([]fetched, need)
+	}
+	c.fqMask = uint64(len(c.fetchQ) - 1)
+	c.fqHead, c.fqTail = 0, 0
+
+	if c.batch == nil {
+		c.batch = make([]workload.Instr, batchSize)
+	}
+	c.batchPos, c.batchLen = 0, 0
+	c.delivered = 0
+
+	c.lsqCount = 0
+	c.head, c.tail = 0, 0
+	c.fetchedCount = 0
+	c.stalled = false
+	c.resumeAt = -1
+	c.total = uint64(n)
+	c.cycle = 0
+	c.committed = 0
+	c.loadsL1, c.loadsL2, c.loadsMem = 0, 0, 0
+}
+
+// Run simulates n instructions on this core's scratch arenas, resetting
+// them first. Semantics and results are identical to the package-level Run;
+// the only difference is buffer reuse across calls.
+func (c *Core) Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarchy, n int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	if n <= 0 {
 		return Result{}, fmt.Errorf("pipeline: instruction count %d must be positive", n)
 	}
-	c := &core{
-		p:     p,
-		gen:   gen,
-		pred:  pred,
-		mem:   mem,
-		rob:   make([]robEntry, p.ROBSize+1),
-		iq:    make([]uint64, 0, p.IQSize),
-		total: uint64(n),
-	}
-	c.resumeAt = -1
+	c.reset(p, gen, pred, mem, n)
 
 	for c.committed < c.total {
 		progress := false
@@ -186,6 +274,7 @@ func Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarc
 				// No progress and no pending event: the model is
 				// wedged, which indicates a bug, not a workload
 				// property.
+				c.release()
 				return Result{}, fmt.Errorf("pipeline: deadlock at cycle %d (%d/%d committed)",
 					c.cycle, c.committed, c.total)
 			}
@@ -195,7 +284,7 @@ func Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarc
 		c.cycle++
 	}
 
-	return Result{
+	res := Result{
 		Instructions: c.committed,
 		Cycles:       uint64(c.cycle),
 		Branch:       pred.Stats(),
@@ -204,13 +293,24 @@ func Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cache.Hierarc
 		LoadsL1:      c.loadsL1,
 		LoadsL2:      c.loadsL2,
 		LoadsMem:     c.loadsMem,
-	}, nil
+	}
+	c.release()
+	return res, nil
 }
 
-func (c *core) slot(idx uint64) *robEntry { return &c.rob[idx%uint64(len(c.rob))] }
+// release drops the run's external references (source, predictor, caches)
+// so a pooled Core does not pin them alive between runs; the scratch
+// arenas stay for reuse.
+func (c *Core) release() {
+	c.gen = nil
+	c.pred = nil
+	c.mem = nil
+}
+
+func (c *Core) slot(idx uint64) *robEntry { return &c.rob[idx&c.robMask] }
 
 // commit retires up to Width completed instructions from the ROB head.
-func (c *core) commit() bool {
+func (c *Core) commit() bool {
 	n := 0
 	for n < c.p.Width && c.head < c.tail {
 		e := c.slot(c.head + 1)
@@ -234,7 +334,7 @@ func (c *core) commit() bool {
 // scheduling loop, not of the producer's ROB residency — so recently
 // retired producers (whose ring slot is still fresh) are timed the same
 // way.
-func (c *core) depReady(dep uint64) bool {
+func (c *Core) depReady(dep uint64) bool {
 	if dep == 0 {
 		return true
 	}
@@ -247,25 +347,29 @@ func (c *core) depReady(dep uint64) bool {
 
 // issue selects up to Width ready instructions from the issue queue, oldest
 // first, and begins their execution.
-func (c *core) issue() bool {
+func (c *Core) issue() bool {
 	issued := 0
 	memIssued := 0
+	width := c.p.Width
+	memPorts := c.p.MemPorts
+	iq := c.iq
 	w := 0 // compaction write cursor
-	for r := 0; r < len(c.iq); r++ {
-		idx := c.iq[r]
-		e := c.slot(idx)
-		if issued >= c.p.Width {
-			c.iq[w] = idx
-			w++
-			continue
+	for r := 0; r < len(iq); r++ {
+		if issued >= width {
+			// Issue bandwidth is spent; everything younger stays
+			// waiting, in order, without inspection.
+			w += copy(iq[w:], iq[r:])
+			break
 		}
-		if e.isMem && memIssued >= c.p.MemPorts {
-			c.iq[w] = idx
+		idx := iq[r]
+		e := c.slot(idx)
+		if e.isMem && memIssued >= memPorts {
+			iq[w] = idx
 			w++
 			continue
 		}
 		if !c.depReady(e.dep1) || !c.depReady(e.dep2) {
-			c.iq[w] = idx
+			iq[w] = idx
 			w++
 			continue
 		}
@@ -284,13 +388,13 @@ func (c *core) issue() bool {
 			c.stalled = false
 		}
 	}
-	c.iq = c.iq[:w]
+	c.iq = iq[:w]
 	return issued > 0
 }
 
 // execLatency computes the execution latency of an instruction at issue,
 // probing the cache hierarchy for memory operations.
-func (c *core) execLatency(e *robEntry) int {
+func (c *Core) execLatency(e *robEntry) int {
 	sched := c.p.SchedStages - 1 // extra scheduling/regfile stages
 	switch e.op {
 	case workload.OpLoad:
@@ -325,10 +429,10 @@ func (c *core) execLatency(e *robEntry) int {
 }
 
 // dispatch moves up to Width front-end instructions into the backend.
-func (c *core) dispatch() bool {
+func (c *Core) dispatch() bool {
 	n := 0
-	for n < c.p.Width && len(c.fetchQ) > 0 {
-		f := &c.fetchQ[0]
+	for n < c.p.Width && c.fqHead < c.fqTail {
+		f := &c.fetchQ[c.fqHead&c.fqMask]
 		if f.readyAt > c.cycle {
 			break
 		}
@@ -361,15 +465,33 @@ func (c *core) dispatch() bool {
 			c.lsqCount++
 		}
 		c.iq = append(c.iq, c.tail)
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
 		n++
 	}
 	return n > 0
 }
 
+// refill pulls the next slab of instructions from the source. The source
+// is advanced by exactly the instructions the run will fetch: the final
+// slab is capped at the remaining total, so a run consumes n instructions
+// from its source in batch mode just as it does in scalar mode.
+func (c *Core) refill() {
+	want := len(c.batch)
+	if rem := int(c.total - c.delivered); rem < want {
+		want = rem
+	}
+	c.batchLen = c.gen.NextBatch(c.batch[:want])
+	c.batchPos = 0
+	c.delivered += uint64(c.batchLen)
+}
+
 // fetch brings up to Width instructions per cycle into the front end,
 // predicting branches and stalling on mispredictions until resolution.
-func (c *core) fetch() bool {
+// Instructions arrive through the delivery slab — one NextBatch call per
+// batchSize instructions — instead of one interface call each; since the
+// source's stream is deterministic and independent of pipeline state, the
+// slab holds exactly the instructions scalar fetch would have drawn.
+func (c *Core) fetch() bool {
 	if c.stalled || c.cycle < c.resumeAt {
 		return false
 	}
@@ -378,16 +500,22 @@ func (c *core) fetch() bool {
 	}
 	// Bound the fetch buffer so the front end does not run arbitrarily
 	// far ahead of dispatch.
-	maxBuf := (c.p.FrontEndStages + 2) * c.p.Width
+	maxBuf := uint64((c.p.FrontEndStages + 2) * c.p.Width)
 	n := 0
 	takenSeen := false
-	for n < c.p.Width && len(c.fetchQ) < maxBuf && c.fetchedCount < c.total {
-		var ins workload.Instr
-		c.gen.Next(&ins)
+	for n < c.p.Width && c.fqTail-c.fqHead < maxBuf && c.fetchedCount < c.total {
+		if c.batchPos == c.batchLen {
+			c.refill()
+			if c.batchLen == 0 {
+				break // source exhausted (not the repo's sources)
+			}
+		}
+		ins := &c.batch[c.batchPos]
+		c.batchPos++
 		c.fetchedCount++
-		f := fetched{
-			ins:     ins,
-			idx:     c.fetchedCount,
+		f := &c.fetchQ[c.fqTail&c.fqMask]
+		*f = fetched{
+			ins:     *ins,
 			readyAt: c.cycle + int64(c.p.FrontEndStages),
 		}
 		if ins.Op == workload.OpBranch {
@@ -397,7 +525,7 @@ func (c *core) fetch() bool {
 				f.mispred = true
 			}
 		}
-		c.fetchQ = append(c.fetchQ, f)
+		c.fqTail++
 		n++
 		if f.mispred {
 			// Everything after this branch is a redirect target;
@@ -419,7 +547,7 @@ func (c *core) fetch() bool {
 // nextEvent returns the earliest future cycle at which state can change:
 // an in-flight completion enabling commit or wakeup, a front-end
 // instruction reaching dispatch, or a redirect resuming fetch.
-func (c *core) nextEvent() int64 {
+func (c *Core) nextEvent() int64 {
 	next := int64(1<<62 - 1)
 	wake := int64(c.p.WakeupExtra)
 	// Scan the full fresh window, including recently retired entries:
@@ -431,22 +559,23 @@ func (c *core) nextEvent() int64 {
 	if h := c.head + 1; h < lo {
 		lo = h
 	}
+	rob, mask, cycle := c.rob, c.robMask, c.cycle
 	for i := lo; i <= c.tail; i++ {
-		e := c.slot(i)
+		e := &rob[i&mask]
 		if e.state != stDone {
 			continue
 		}
 		// Completion enables commit at doneAt and wakes consumers at
 		// doneAt+WakeupExtra; either can be the next state change.
-		if t := e.doneAt; t > c.cycle && t < next {
+		if t := e.doneAt; t > cycle && t < next {
 			next = t
 		}
-		if t := e.doneAt + wake; t > c.cycle && t < next {
+		if t := e.doneAt + wake; t > cycle && t < next {
 			next = t
 		}
 	}
-	if len(c.fetchQ) > 0 {
-		if t := c.fetchQ[0].readyAt; t > c.cycle && t < next {
+	if c.fqHead < c.fqTail {
+		if t := c.fetchQ[c.fqHead&c.fqMask].readyAt; t > c.cycle && t < next {
 			next = t
 		}
 	}

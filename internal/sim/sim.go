@@ -193,13 +193,11 @@ func (r Result) IPT() float64 { return r.IPC() / r.Config.ClockNs }
 
 // Run evaluates n instructions of the workload on the configuration. Every
 // run constructs fresh predictor, cache and generator state, so results are
-// deterministic functions of (config, profile, n).
+// deterministic functions of (config, profile, n). Invalid configurations
+// are rejected before any generator or structure setup is paid for.
 func Run(c Config, p workload.Profile, n int, t tech.Params) (Result, error) {
-	gen, err := workload.NewGenerator(p)
-	if err != nil {
-		return Result{}, err
-	}
-	return RunSource(c, gen, p.Name, n, t)
+	var r Runner
+	return r.Run(c, p, n, t)
 }
 
 // RunSource evaluates n instructions from an arbitrary instruction source —
@@ -207,16 +205,66 @@ func Run(c Config, p workload.Profile, n int, t tech.Params) (Result, error) {
 // source's state advances; pass a fresh or Reset source for independent
 // runs.
 func RunSource(c Config, src workload.Source, name string, n int, t tech.Params) (Result, error) {
+	var r Runner
+	return r.RunSource(c, src, name, n, t)
+}
+
+// Runner owns the reusable scratch state of a simulation: the pipeline
+// core's arenas, the branch predictor tables, and the cache arrays. A
+// zero-value Runner is ready to use. Reusing one Runner across evaluations
+// resets this state instead of reallocating it, which removes the per-run
+// allocation cost on hot paths (design-space search evaluates millions of
+// configurations); results are bit-identical to fresh construction. A
+// Runner is not safe for concurrent use — pool them per worker.
+type Runner struct {
+	core pipeline.Core
+
+	// Predictor tables are reused when consecutive runs share a predictor
+	// configuration (the paper holds it fixed across the whole search).
+	predCfg bpred.Config
+	pred    bpred.Predictor
+
+	// Cache arrays are reused when both geometries match the previous run.
+	l1Geom, l2Geom timing.CacheGeom
+	mem            *cache.Hierarchy
+}
+
+// Run evaluates n instructions of the workload's synthetic stream, as the
+// package-level Run, but reusing the Runner's scratch state.
+func (r *Runner) Run(c Config, p workload.Profile, n int, t tech.Params) (Result, error) {
 	if err := c.Validate(t); err != nil {
 		return Result{}, err
 	}
-	pred, err := bpred.New(c.Bpred)
+	gen, err := workload.NewGenerator(p)
 	if err != nil {
 		return Result{}, err
 	}
-	mem, err := cache.NewHierarchy(c.L1D, c.L2)
-	if err != nil {
+	return r.RunSource(c, gen, p.Name, n, t)
+}
+
+// RunSource evaluates n instructions from src, as the package-level
+// RunSource, but reusing the Runner's scratch state.
+func (r *Runner) RunSource(c Config, src workload.Source, name string, n int, t tech.Params) (Result, error) {
+	if err := c.Validate(t); err != nil {
 		return Result{}, err
+	}
+	if r.pred != nil && r.predCfg == c.Bpred {
+		r.pred.Reset()
+	} else {
+		pred, err := bpred.New(c.Bpred)
+		if err != nil {
+			return Result{}, err
+		}
+		r.pred, r.predCfg = pred, c.Bpred
+	}
+	if r.mem != nil && r.l1Geom == c.L1D && r.l2Geom == c.L2 {
+		r.mem.Reset()
+	} else {
+		mem, err := cache.NewHierarchy(c.L1D, c.L2)
+		if err != nil {
+			return Result{}, err
+		}
+		r.mem, r.l1Geom, r.l2Geom = mem, c.L1D, c.L2
 	}
 	// Miss latencies include a fill-transfer term proportional to the
 	// victim level's block size over a 16-byte-per-cycle fill path, so
@@ -238,7 +286,7 @@ func RunSource(c Config, src workload.Source, name string, n int, t tech.Params)
 		DivLat:         20,
 		MemPorts:       2,
 	}
-	res, err := pipeline.Run(params, src, pred, mem, n)
+	res, err := r.core.Run(params, src, r.pred, r.mem, n)
 	if err != nil {
 		return Result{}, err
 	}

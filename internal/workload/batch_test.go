@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// drainScalar pulls n instructions one at a time through Next.
+func drainScalar(src Source, n int) []Instr {
+	out := make([]Instr, n)
+	for i := range out {
+		src.Next(&out[i])
+	}
+	return out
+}
+
+// drainBatch pulls n instructions through NextBatch with the given slab
+// size; the final slab is deliberately partial when size does not divide n.
+func drainBatch(src Source, n, size int) []Instr {
+	out := make([]Instr, 0, n)
+	buf := make([]Instr, size)
+	for len(out) < n {
+		want := n - len(out)
+		if want > size {
+			want = size
+		}
+		got := src.NextBatch(buf[:want])
+		if got == 0 {
+			break
+		}
+		out = append(out, buf[:got]...)
+	}
+	return out
+}
+
+// TestGeneratorBatchMatchesScalar is the batch/scalar stream-equivalence
+// contract for the synthetic generator: NextBatch must deliver exactly the
+// instructions that the same number of Next calls would, including when the
+// final batch is partial.
+func TestGeneratorBatchMatchesScalar(t *testing.T) {
+	for _, name := range []string{"gcc", "mcf", "crafty"} {
+		p, _ := ByName(name)
+		for _, tc := range []struct{ n, size int }{
+			{1000, 64},  // even division
+			{1000, 137}, // partial final batch
+			{500, 1},    // degenerate single-instruction batches
+			{300, 512},  // one partial batch larger than the stream tail
+		} {
+			a, err := NewGenerator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewGenerator(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar := drainScalar(a, tc.n)
+			batch := drainBatch(b, tc.n, tc.size)
+			if len(batch) != tc.n {
+				t.Fatalf("%s n=%d size=%d: batch delivered %d", name, tc.n, tc.size, len(batch))
+			}
+			for i := range scalar {
+				if scalar[i] != batch[i] {
+					t.Fatalf("%s n=%d size=%d: instruction %d diverges: %+v vs %+v",
+						name, tc.n, tc.size, i, scalar[i], batch[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorBatchAfterReset checks that Reset replays the identical
+// stream through the batched path: mixed scalar/batch consumption before a
+// Reset must not perturb what comes after it.
+func TestGeneratorBatchAfterReset(t *testing.T) {
+	p, _ := ByName("gzip")
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drainBatch(g, 2000, 256)
+	g.Reset()
+	second := drainBatch(g, 2000, 256)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("post-Reset replay diverges at %d", i)
+		}
+	}
+	g.Reset()
+	mixed := drainScalar(g, 1000)
+	mixed = append(mixed, drainBatch(g, 1000, 333)...)
+	for i := range mixed {
+		if mixed[i] != first[i] {
+			t.Fatalf("scalar/batch mix diverges at %d", i)
+		}
+	}
+}
+
+// TestTraceReaderBatchMatchesScalar covers the trace-replay source: batch
+// delivery must match scalar delivery, including across the wrap point
+// where the reader loops back to the start of the trace.
+func TestTraceReaderBatchMatchesScalar(t *testing.T) {
+	p, _ := ByName("vortex")
+	gen, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const traceLen = 700
+	if err := WriteTrace(&buf, gen, traceLen); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Read well past traceLen so both paths exercise the wrap.
+	const n = 2500
+	ra, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := drainScalar(ra, n)
+	batch := drainBatch(rb, n, 512) // 512 does not divide 700: wraps mid-batch
+	for i := range scalar {
+		if scalar[i] != batch[i] {
+			t.Fatalf("trace batch diverges at %d (wrap at %d)", i, traceLen)
+		}
+	}
+
+	rb.Reset()
+	again := drainBatch(rb, n, 512)
+	for i := range again {
+		if again[i] != scalar[i] {
+			t.Fatalf("post-Reset trace batch diverges at %d", i)
+		}
+	}
+}
+
+// TestTraceReaderBatchEmpty locks the empty-trace contract: NextBatch on a
+// drained reader with no instructions reports zero instead of spinning.
+func TestTraceReaderBatchEmpty(t *testing.T) {
+	r := &TraceReader{}
+	buf := make([]Instr, 8)
+	if n := r.NextBatch(buf); n != 0 {
+		t.Fatalf("empty trace delivered %d instructions", n)
+	}
+}
+
+func BenchmarkGeneratorNextBatch(b *testing.B) {
+	p, _ := ByName("gcc")
+	g, err := NewGenerator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Instr, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextBatch(buf)
+	}
+}

@@ -15,9 +15,22 @@ import (
 
 // Source supplies a dynamic instruction stream. Generator implements it;
 // TraceReader replays captured streams.
+//
+// Next and NextBatch draw from the same stream: a batch of k instructions
+// is exactly the k instructions k successive Next calls would have
+// produced, so consumers may mix the two freely. NextBatch exists for the
+// simulation hot path — one call delivers a slab of instructions, turning
+// per-instruction interface dispatch into a near-memcpy for replayed
+// traces.
 type Source interface {
 	// Next fills ins with the next dynamic instruction.
 	Next(ins *Instr)
+	// NextBatch fills dst with the next len(dst) instructions of the
+	// stream and returns the number written. The repo's sources are
+	// unbounded (generators never end, trace replay wraps), so they
+	// always fill dst completely; the count return leaves room for
+	// finite external sources.
+	NextBatch(dst []Instr) int
 }
 
 var (
@@ -121,6 +134,15 @@ func ReadTrace(r io.Reader) (*TraceReader, error) {
 	return tr, nil
 }
 
+// NewTraceReaderFrom captures the next n instructions of src into an
+// in-memory trace — WriteTrace followed by ReadTrace without the encoding
+// round trip. Useful for pinning one stream across repeated replays.
+func NewTraceReaderFrom(src Source, n int) *TraceReader {
+	tr := &TraceReader{instrs: make([]Instr, n)}
+	src.NextBatch(tr.instrs)
+	return tr
+}
+
 // Len returns the number of captured instructions.
 func (t *TraceReader) Len() int { return len(t.instrs) }
 
@@ -131,6 +153,25 @@ func (t *TraceReader) Next(ins *Instr) {
 	if t.pos == len(t.instrs) {
 		t.pos = 0
 	}
+}
+
+// NextBatch replays the next len(dst) instructions as bulk copies of the
+// captured slice, wrapping at the end of the trace exactly as repeated
+// Next calls would.
+func (t *TraceReader) NextBatch(dst []Instr) int {
+	if len(t.instrs) == 0 {
+		return 0
+	}
+	n := 0
+	for n < len(dst) {
+		c := copy(dst[n:], t.instrs[t.pos:])
+		n += c
+		t.pos += c
+		if t.pos == len(t.instrs) {
+			t.pos = 0
+		}
+	}
+	return n
 }
 
 // Reset rewinds the replay to the start of the trace.

@@ -208,6 +208,12 @@ type Generator struct {
 	sites   []branchSite
 	curSite int
 
+	// Cumulative instruction-mix thresholds, precomputed once per Reset.
+	// Each is the left-to-right partial sum the selection switch used to
+	// recompute per instruction, so draws compare against bit-identical
+	// values and the stream is unchanged.
+	mixLoad, mixStore, mixBranch, mixMul, mixDiv float64
+
 	seqPtr   uint64 // sequential stream cursor
 	lastLoad struct {
 		valid bool
@@ -245,6 +251,12 @@ func (g *Generator) Reset() {
 	g.hotBase = 0x4000_0000
 	g.coldBase = 0x8000_0000
 
+	g.mixLoad = p.LoadFrac
+	g.mixStore = g.mixLoad + p.StoreFrac
+	g.mixBranch = g.mixStore + p.BranchFrac
+	g.mixMul = g.mixBranch + p.MulFrac
+	g.mixDiv = g.mixMul + p.DivFrac
+
 	g.sites = make([]branchSite, p.BranchSites)
 	siteRNG := newRNG(p.Seed ^ 0x5eed)
 	for i := range g.sites {
@@ -280,15 +292,15 @@ func (g *Generator) Next(ins *Instr) {
 
 	x := r.float()
 	switch {
-	case x < p.LoadFrac:
+	case x < g.mixLoad:
 		ins.Op = OpLoad
-	case x < p.LoadFrac+p.StoreFrac:
+	case x < g.mixStore:
 		ins.Op = OpStore
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+	case x < g.mixBranch:
 		ins.Op = OpBranch
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.MulFrac:
+	case x < g.mixMul:
 		ins.Op = OpIMul
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.MulFrac+p.DivFrac:
+	case x < g.mixDiv:
 		ins.Op = OpIDiv
 	default:
 		ins.Op = OpIALU
@@ -317,6 +329,15 @@ func (g *Generator) Next(ins *Instr) {
 		g.lastLoad.dist = 0
 		g.lastLoad.addr = ins.Addr
 	}
+}
+
+// NextBatch fills dst with the next len(dst) instructions — the same
+// instructions that many successive Next calls would produce.
+func (g *Generator) NextBatch(dst []Instr) int {
+	for i := range dst {
+		g.Next(&dst[i])
+	}
+	return len(dst)
 }
 
 // address draws an effective address from the three-population locality
