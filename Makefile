@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-smoke verify clean
+.PHONY: all build test vet race race-hot bench bench-smoke bench-compare verify clean
 
 all: build
 
@@ -34,6 +34,11 @@ bench:
 # that benchmark code compiles and completes, without measuring anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-compare runs the kernel benchmark set fresh and diffs it against
+# the committed recording, failing past a 15% ns/op regression.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json -benchtime 3x
 
 # verify is the pre-merge gate: static checks, a full build, the test
 # suite under the race detector, and one pass of the headline reproduction

@@ -4,21 +4,30 @@
 // tool's output: re-run it after kernel changes (`make bench`) so the
 // recorded numbers always describe the tree they sit in.
 //
+// With -compare it instead runs the suite and diffs the fresh numbers
+// against the Current section of a previously recorded file, printing a
+// per-benchmark delta table and exiting non-zero when any ns/op regresses
+// by more than -threshold percent — a regression gate for CI.
+//
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_kernel.json] [-benchtime 3x]
+//	go run ./cmd/benchjson [-compare BENCH_kernel.json] [-threshold 15] [-benchtime 3x]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"xpscalar/internal/cli"
 )
 
 // suite is the kernel benchmark set: the macro annealing chain, the
@@ -68,7 +77,29 @@ type Report struct {
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output file")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	compare := flag.String("compare", "", "diff a fresh run against this recorded file instead of writing one")
+	threshold := flag.Float64("threshold", 15, "with -compare, fail when ns/op regresses by more than this percent")
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("benchjson"); err != nil {
+		slog.Error(err.Error())
+		os.Exit(1)
+	}
+
+	var current []Benchmark
+	for _, s := range suite {
+		results, err := run(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			slog.Error(err.Error(), "package", s.pkg)
+			os.Exit(1)
+		}
+		current = append(current, results...)
+	}
+
+	if *compare != "" {
+		os.Exit(compareRun(*compare, current, *threshold))
+	}
 
 	rep := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -77,30 +108,76 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Benchtime: *benchtime,
 		Baseline:  baseline,
+		Current:   current,
 	}
-	for _, s := range suite {
-		results, err := run(s.pkg, s.pattern, *benchtime)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
-			os.Exit(1)
-		}
-		rep.Current = append(rep.Current, results...)
-	}
-
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Current))
 	for _, b := range rep.Current {
 		fmt.Printf("  %-36s %s\n", b.Name, summarize(b, rep.Baseline))
 	}
+}
+
+// compareRun diffs fresh results against the Current section of a recorded
+// report and returns the process exit status: 0 when every shared
+// benchmark's ns/op is within threshold percent of the recording, 1 past
+// it. Benchmarks present on only one side are reported but never fail the
+// gate — suite growth is not a regression.
+func compareRun(path string, current []Benchmark, threshold float64) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		slog.Error(err.Error())
+		return 1
+	}
+	var rec Report
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		slog.Error(fmt.Sprintf("%s: %v", path, err))
+		return 1
+	}
+	recorded := map[string]Benchmark{}
+	for _, b := range rec.Current {
+		recorded[b.Name] = b
+	}
+
+	fmt.Printf("comparing against %s (recorded %s, %s)\n", path, rec.Generated, rec.GoVersion)
+	fmt.Printf("  %-36s %14s %14s %9s\n", "benchmark", "recorded", "fresh", "delta")
+	failed := false
+	seen := map[string]bool{}
+	for _, b := range current {
+		seen[b.Name] = true
+		r, ok := recorded[b.Name]
+		if !ok || r.Metrics["ns/op"] <= 0 || b.Metrics["ns/op"] <= 0 {
+			fmt.Printf("  %-36s %14s %13.2fms %9s\n", b.Name, "—", b.Metrics["ns/op"]/1e6, "new")
+			continue
+		}
+		delta := (b.Metrics["ns/op"] - r.Metrics["ns/op"]) / r.Metrics["ns/op"] * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-36s %13.2fms %13.2fms %+8.1f%%%s\n",
+			b.Name, r.Metrics["ns/op"]/1e6, b.Metrics["ns/op"]/1e6, delta, mark)
+	}
+	for _, b := range rec.Current {
+		if !seen[b.Name] {
+			fmt.Printf("  %-36s %13.2fms %14s %9s\n", b.Name, b.Metrics["ns/op"]/1e6, "—", "gone")
+		}
+	}
+	if failed {
+		slog.Error("benchmark regression past threshold", "threshold_pct", threshold)
+		return 1
+	}
+	fmt.Printf("all benchmarks within %.0f%% of %s\n", threshold, path)
+	return 0
 }
 
 // run executes one `go test -bench` invocation and parses its result lines.

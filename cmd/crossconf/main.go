@@ -19,7 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"xpscalar/internal/cli"
@@ -30,8 +30,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("crossconf: ")
 	os.Exit(cli.Main(run))
 }
 
@@ -52,7 +50,12 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("crossconf"); err != nil {
+		return err
+	}
 
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
@@ -63,7 +66,7 @@ func run(ctx context.Context) error {
 	}
 	defer func() {
 		if perr := stopProfiles(); perr != nil {
-			log.Print(perr)
+			slog.Error(perr.Error())
 		}
 	}()
 
@@ -71,12 +74,13 @@ func run(ctx context.Context) error {
 	tel, err := cli.StartTelemetry("crossconf", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
-			log.Print(cerr)
+			slog.Error(cerr.Error())
 		}
 	}()
 	if err != nil {
 		return err
 	}
+	ctx = tel.Context(ctx)
 
 	m, err := cli.LoadMatrix(ctx, *source, cli.MatrixOptions{
 		Instructions: *n, Iterations: *iters, Seed: *seed, Telemetry: tel, Session: sess,
@@ -112,7 +116,7 @@ func run(ctx context.Context) error {
 		}
 	}
 	if *evalstats {
-		log.Printf("evaluation engine: %v", sess.Stats())
+		slog.Info("evaluation engine", "stats", sess.Stats().String())
 	}
 	return nil
 }

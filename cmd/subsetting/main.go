@@ -18,7 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -30,8 +30,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("subsetting: ")
 	os.Exit(cli.Main(run))
 }
 
@@ -47,7 +45,12 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("subsetting"); err != nil {
+		return err
+	}
 
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
@@ -58,12 +61,13 @@ func run(ctx context.Context) error {
 	tel, err := cli.StartTelemetry("subsetting", nil, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
-			log.Print(cerr)
+			slog.Error(cerr.Error())
 		}
 	}()
 	if err != nil {
 		return err
 	}
+	ctx = tel.Context(ctx)
 
 	if *kiviat {
 		fmt.Println("Illustrative workloads α, β, γ (Figure 1)")

@@ -15,7 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"xpscalar/internal/cli"
@@ -25,8 +25,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("surrogate: ")
 	os.Exit(cli.Main(run))
 }
 
@@ -39,7 +37,12 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("surrogate"); err != nil {
+		return err
+	}
 
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
@@ -48,12 +51,13 @@ func run(ctx context.Context) error {
 	tel, err := cli.StartTelemetry("surrogate", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
-			log.Print(cerr)
+			slog.Error(cerr.Error())
 		}
 	}()
 	if err != nil {
 		return err
 	}
+	ctx = tel.Context(ctx)
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel

@@ -7,11 +7,13 @@
 // Usage:
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
-//	         [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	         [-timeout d] [-evalstats] [-trace file] [-spans file] [-metrics-addr addr]
+//	         [-progress] [-log-level l] [-log-format text|json]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // The Table 4 analogue goes to stdout; diagnostics (wall time, -evalstats,
-// -progress) go to stderr. -trace writes a structured JSONL run trace and
+// -progress) go to stderr. -trace writes a structured JSONL run trace,
+// -spans records hierarchical execution spans for cmd/xptrace, and
 // -metrics-addr serves live Prometheus metrics while the search runs.
 //
 // The run is interruptible: Ctrl-C (or -timeout expiry) stops the search
@@ -25,7 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -39,8 +41,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xpscalar: ")
 	os.Exit(cli.Main(run))
 }
 
@@ -62,7 +62,12 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("xpscalar"); err != nil {
+		return err
+	}
 
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
@@ -71,12 +76,13 @@ func run(ctx context.Context) error {
 	tel, err := cli.StartTelemetry("xpscalar", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
-			log.Print(cerr)
+			slog.Error(cerr.Error())
 		}
 	}()
 	if err != nil {
 		return err
 	}
+	ctx = tel.Context(ctx)
 
 	stopProfiles, perr := cli.StartProfiles(*cpuprofile, *memprofile)
 	if perr != nil {
@@ -84,7 +90,7 @@ func run(ctx context.Context) error {
 	}
 	defer func() {
 		if perr := stopProfiles(); perr != nil {
-			log.Print(perr)
+			slog.Error(perr.Error())
 		}
 	}()
 
@@ -156,19 +162,19 @@ func run(ctx context.Context) error {
 			return err
 		}
 	}
-	log.Printf("exploration wall time: %v", time.Since(start).Round(time.Second))
+	slog.Info("exploration finished", "wall", time.Since(start).Round(time.Second).String())
 	if interrupted {
-		log.Printf("interrupted (%v): %d/%d workloads completed", runErr, len(outs), len(profiles))
+		slog.Warn(fmt.Sprintf("interrupted (%v)", runErr), "completed", len(outs), "total", len(profiles))
 	}
 	if *evalstats || interrupted {
-		log.Printf("evaluation engine: %v", sess.Stats())
+		slog.Info("evaluation engine", "stats", sess.Stats().String())
 	}
 
 	if *save != "" && len(outs) > 0 {
 		if err := store.SaveOutcomes(*save, outs); err != nil {
 			return err
 		}
-		log.Printf("outcomes saved to %s (%d workloads)", *save, len(outs))
+		slog.Info("outcomes saved", "path", *save, "workloads", len(outs))
 	}
 	// A nil runErr means success; a context error surfaces as exit status
 	// 130 (interrupt) or 124 (timeout) after the deferred telemetry flush.

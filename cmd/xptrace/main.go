@@ -1,0 +1,117 @@
+// Command xptrace analyzes the observability artifacts a run leaves
+// behind: the JSONL run trace written by -trace and the hierarchical span
+// stream written by -spans.
+//
+//	xptrace report [-spans file] TRACE.jsonl
+//	xptrace diff TRACE_A.jsonl TRACE_B.jsonl
+//	xptrace export [-o out.json] SPANS
+//
+// report digests one run: annealing convergence per chain, the
+// acceptance-rate curve over the search, the cache-effectiveness timeline,
+// and — when a span stream is supplied — the per-phase self/total time
+// breakdown.
+//
+// diff compares two runs event by event: manifest drift (differing
+// configuration, ignoring observability-only flags), outcome drift (any
+// annealing step, chain result, or matrix cell whose numbers differ), and
+// the per-phase wall-time delta. Two runs of the same tool with the same
+// seed must show zero outcome drift regardless of tracing flags — diff is
+// the executable form of that claim. Exit status: 0 no drift, 2 drift,
+// 1 error.
+//
+// export converts a span stream to Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto, one named thread per worker track.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/tracing"
+)
+
+func main() {
+	if err := (cli.LogConfig{}).Setup("xptrace"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	var (
+		err   error
+		drift bool
+	)
+	switch os.Args[1] {
+	case "report":
+		err = reportCmd(os.Args[2:])
+	case "diff":
+		drift, err = diffCmd(os.Args[2:])
+	case "export":
+		err = exportCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		slog.Error(fmt.Sprintf("unknown subcommand %q", os.Args[1]))
+		usage()
+		os.Exit(1)
+	}
+	if err != nil {
+		slog.Error(err.Error())
+		os.Exit(1)
+	}
+	if drift {
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  xptrace report [-spans file] TRACE.jsonl    digest one run trace
+  xptrace diff TRACE_A.jsonl TRACE_B.jsonl    compare two run traces (exit 2 on drift)
+  xptrace export [-o out.json] SPANS          span stream -> Chrome trace JSON
+`)
+}
+
+// exportCmd converts a span stream to Chrome trace-event JSON.
+func exportCmd(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("export: want exactly one span-stream file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	meta, spans, err := tracing.ReadSpans(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+	}
+	if err := tracing.WriteChromeTrace(w, meta.Tool, spans); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := w.Close(); err != nil {
+			return err
+		}
+		slog.Info("chrome trace written", "path", *out, "spans", len(spans))
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+// The report subcommand: digest one run trace into the views that answer
+// "how did the search behave" — per-chain convergence, the acceptance-rate
+// curve, the cache-effectiveness timeline, and (with a span stream) the
+// per-phase time breakdown.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"xpscalar/internal/report"
+	"xpscalar/internal/tracing"
+)
+
+// buckets is the resolution of the curve and timeline views: the run is
+// cut into this many equal slices.
+const buckets = 10
+
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	spansPath := fs.String("spans", "", "span-stream file for the phase time breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want exactly one trace file, got %d args", fs.NArg())
+	}
+	t, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	printManifest(t)
+	if err := printChains(t); err != nil {
+		return err
+	}
+	printAcceptanceCurve(t)
+	printCacheTimeline(t)
+	printSummary(t)
+
+	if *spansPath != "" {
+		f, err := os.Open(*spansPath)
+		if err != nil {
+			return err
+		}
+		_, spans, err := tracing.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nPhase time breakdown (%d spans)\n", len(spans))
+		if err := tracing.WriteAttribution(os.Stdout, spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printManifest(t *trace) {
+	fmt.Printf("run trace %s\n", t.path)
+	if m := t.manifest; m != nil {
+		fmt.Printf("  tool %s  seed %d  %s %s/%s  GOMAXPROCS %d\n",
+			m.Tool, m.Seed, m.GoVersion, m.OS, m.Arch, m.MaxProcs)
+	}
+}
+
+// printChains renders the annealing convergence table: one row per chain
+// with its step count, acceptance and feasibility rates, and how the best
+// score moved from the first decile of the search to the end.
+func printChains(t *trace) error {
+	if len(t.steps) == 0 && len(t.chains) == 0 {
+		return nil
+	}
+	type key struct {
+		workload string
+		chain    int
+	}
+	type agg struct {
+		steps, accepted, feasible int
+		earlyBest, finalBest      float64
+	}
+	byChain := map[key]*agg{}
+	var order []key
+	for _, s := range t.steps {
+		k := key{s.Workload, s.Chain}
+		a := byChain[k]
+		if a == nil {
+			a = &agg{}
+			byChain[k] = a
+			order = append(order, k)
+		}
+		a.steps++
+		if s.Accepted {
+			a.accepted++
+		}
+		if s.Feasible {
+			a.feasible++
+		}
+		if s.Iteration*buckets <= s.TotalIterations {
+			a.earlyBest = s.BestScore
+		}
+		a.finalBest = s.BestScore
+	}
+	results := map[key]float64{}
+	evals := map[key]int{}
+	for _, c := range t.chains {
+		k := key{c.Workload, c.Chain}
+		results[k] = c.BestScore
+		evals[k] = c.Evaluations
+		if byChain[k] == nil {
+			byChain[k] = &agg{finalBest: c.BestScore}
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].workload != order[j].workload {
+			return order[i].workload < order[j].workload
+		}
+		return order[i].chain < order[j].chain
+	})
+
+	fmt.Println("\nAnnealing convergence per chain")
+	tab := &report.Table{Header: []string{
+		"workload", "chain", "steps", "accept%", "feasible%", "early best", "final best", "evals",
+	}}
+	for _, k := range order {
+		a := byChain[k]
+		final := a.finalBest
+		if r, ok := results[k]; ok {
+			final = r
+		}
+		pct := func(n int) string {
+			if a.steps == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(n)/float64(a.steps))
+		}
+		tab.AddRow(k.workload, fmt.Sprint(k.chain), fmt.Sprint(a.steps),
+			pct(a.accepted), pct(a.feasible),
+			fmt.Sprintf("%.4f", a.earlyBest), fmt.Sprintf("%.4f", final),
+			fmt.Sprint(evals[k]))
+	}
+	return tab.Write(os.Stdout)
+}
+
+// printAcceptanceCurve buckets all annealing steps by search progress
+// (iteration over total) and prints the acceptance rate per bucket — the
+// cooling schedule made visible: high early, falling as temperature drops.
+func printAcceptanceCurve(t *trace) {
+	if len(t.steps) == 0 {
+		return
+	}
+	var total, accepted [buckets]int
+	for _, s := range t.steps {
+		if s.TotalIterations <= 0 {
+			continue
+		}
+		b := (s.Iteration - 1) * buckets / s.TotalIterations
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		total[b]++
+		if s.Accepted {
+			accepted[b]++
+		}
+	}
+	fmt.Println("\nAcceptance rate over search progress")
+	fmt.Print("  progress:")
+	for b := 0; b < buckets; b++ {
+		fmt.Printf(" %5d%%", (b+1)*100/buckets)
+	}
+	fmt.Print("\n  accept:  ")
+	for b := 0; b < buckets; b++ {
+		if total[b] == 0 {
+			fmt.Printf(" %6s", "—")
+			continue
+		}
+		fmt.Printf(" %5.0f%%", 100*float64(accepted[b])/float64(total[b]))
+	}
+	fmt.Println()
+}
+
+// printCacheTimeline buckets evaluation events by run time and prints how
+// the engine served them — the cache warming up over the run.
+func printCacheTimeline(t *trace) {
+	if len(t.evals) == 0 {
+		return
+	}
+	maxT := int64(1)
+	for _, e := range t.evals {
+		if e.TNs > maxT {
+			maxT = e.TNs
+		}
+	}
+	var total, served [buckets]int
+	for _, e := range t.evals {
+		b := int(e.TNs * buckets / (maxT + 1))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		total[b]++
+		if e.Outcome == "hit" || e.Outcome == "dedup" {
+			served[b]++
+		}
+	}
+	fmt.Println("\nCache effectiveness over run time (hit+dedup rate)")
+	fmt.Print("  time:    ")
+	for b := 0; b < buckets; b++ {
+		fmt.Printf(" %5d%%", (b+1)*100/buckets)
+	}
+	fmt.Print("\n  cached:  ")
+	for b := 0; b < buckets; b++ {
+		if total[b] == 0 {
+			fmt.Printf(" %6s", "—")
+			continue
+		}
+		fmt.Printf(" %5.0f%%", 100*float64(served[b])/float64(total[b]))
+	}
+	fmt.Println()
+}
+
+func printSummary(t *trace) {
+	s := t.summary
+	if s == nil {
+		fmt.Println("\nno run summary (interrupted trace)")
+		return
+	}
+	fmt.Printf("\nRun summary: wall %.2fs, %d evaluations (%d hits, %d deduped, %d misses), %d cache entries\n",
+		float64(s.WallNs)/1e9, s.Requests, s.Hits, s.Deduped, s.Misses, s.CacheEntries)
+}

@@ -1,0 +1,66 @@
+// Loading a JSONL run trace into its typed events, grouped by kind.
+
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xpscalar/internal/telemetry"
+)
+
+// trace is one fully decoded run trace. Slices hold events in file order;
+// the envelope timestamp rides along where a timeline needs it.
+type trace struct {
+	path     string
+	manifest *telemetry.RunManifest
+	summary  *telemetry.RunSummary
+	steps    []telemetry.AnnealStep
+	chains   []telemetry.ChainResult
+	evals    []timedEval
+	cells    []telemetry.MatrixCell
+}
+
+// timedEval is an evaluation event with its envelope time, for the
+// cache-effectiveness timeline.
+type timedEval struct {
+	telemetry.Evaluation
+	TNs int64
+}
+
+// loadTrace reads and decodes a run trace. Unknown event kinds are an
+// error (the envelope format is closed); a missing manifest or summary is
+// not — interrupted runs still analyze.
+func loadTrace(path string) (*trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	envs, err := telemetry.ReadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t := &trace{path: path}
+	for _, env := range envs {
+		ev, err := env.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		switch e := ev.(type) {
+		case *telemetry.RunManifest:
+			t.manifest = e
+		case *telemetry.RunSummary:
+			t.summary = e
+		case *telemetry.AnnealStep:
+			t.steps = append(t.steps, *e)
+		case *telemetry.ChainResult:
+			t.chains = append(t.chains, *e)
+		case *telemetry.Evaluation:
+			t.evals = append(t.evals, timedEval{Evaluation: *e, TNs: env.TNs})
+		case *telemetry.MatrixCell:
+			t.cells = append(t.cells, *e)
+		}
+	}
+	return t, nil
+}

@@ -16,7 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"xpscalar/internal/cli"
@@ -26,8 +26,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xpviz: ")
 	os.Exit(cli.Main(run))
 }
 
@@ -37,7 +35,12 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
 	flag.Parse()
+	if err := lcfg.Setup("xpviz"); err != nil {
+		return err
+	}
 
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
@@ -46,12 +49,13 @@ func run(ctx context.Context) error {
 	tel, err := cli.StartTelemetry("xpviz", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
-			log.Print(cerr)
+			slog.Error(cerr.Error())
 		}
 	}()
 	if err != nil {
 		return err
 	}
+	ctx = tel.Context(ctx)
 
 	mo := cli.DefaultMatrixOptions()
 	mo.Telemetry = tel

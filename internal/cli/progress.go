@@ -1,31 +1,53 @@
-// The -progress renderer: a line per chain roughly every tenth of its
-// iteration budget, plus a line when each chain finishes. Chains run in
-// parallel, so lines interleave; each is self-identifying
-// (workload/chain). Output goes to stderr so tables on stdout stay
-// machine-parseable.
+// The -progress renderer. On an interactive terminal it repaints a single
+// status line in place (carriage return + erase-line), so a long run shows
+// a live ticker instead of scrolling history; when stderr is redirected to
+// a file or a pipe it falls back to a plain line per update, so captured
+// logs stay readable and diffable. Chains run in parallel, so updates
+// interleave; each is self-identifying (workload/chain). Output goes to
+// stderr so tables on stdout stay machine-parseable.
 
 package cli
 
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 
 	"xpscalar/internal/explore"
 )
 
 // progressObserver implements explore.Observer by printing throttled
-// progress lines.
+// progress updates.
 type progressObserver struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	tty bool
+	// live reports whether the current terminal line holds an in-place
+	// status that must be erased before the next write.
+	live bool
 }
 
 func newProgressObserver(w io.Writer) *progressObserver {
-	return &progressObserver{w: w}
+	return &progressObserver{w: w, tty: isTerminal(w)}
 }
 
-// ObserveStep implements explore.Observer. It prints every stride-th
+// isTerminal reports whether w is an interactive character device. Only
+// *os.File can be; anything else (test buffers, pipes wrapped in writers)
+// gets the plain-line renderer.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// ObserveStep implements explore.Observer. It reports every stride-th
 // iteration (iterations are 1-based), where the stride is a tenth of the
 // chain's budget.
 func (p *progressObserver) ObserveStep(e explore.StepEvent) {
@@ -36,16 +58,28 @@ func (p *progressObserver) ObserveStep(e explore.StepEvent) {
 	if e.Iteration%stride != 0 && e.Iteration != e.TotalIterations {
 		return
 	}
+	line := fmt.Sprintf("progress: %s chain %d %d/%d T=%.3g best=%.4f",
+		e.Workload, e.Chain, e.Iteration, e.TotalIterations, e.Temperature, e.BestScore)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fmt.Fprintf(p.w, "progress: %s chain %d %d/%d T=%.3g best=%.4f\n",
-		e.Workload, e.Chain, e.Iteration, e.TotalIterations, e.Temperature, e.BestScore)
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[2K%s", line)
+		p.live = true
+		return
+	}
+	fmt.Fprintln(p.w, line)
 }
 
-// ObserveChain implements explore.Observer.
+// ObserveChain implements explore.Observer. Chain completions always get a
+// persistent line, even on a terminal.
 func (p *progressObserver) ObserveChain(e explore.ChainEvent) {
+	line := fmt.Sprintf("progress: %s chain %d done best=%.4f ipt=%.4f evals=%d",
+		e.Workload, e.Chain, e.BestScore, e.BestIPT, e.Evaluations)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fmt.Fprintf(p.w, "progress: %s chain %d done best=%.4f ipt=%.4f evals=%d\n",
-		e.Workload, e.Chain, e.BestScore, e.BestIPT, e.Evaluations)
+	if p.tty && p.live {
+		fmt.Fprint(p.w, "\r\x1b[2K")
+		p.live = false
+	}
+	fmt.Fprintln(p.w, line)
 }

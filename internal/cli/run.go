@@ -2,7 +2,7 @@
 // SIGINT/SIGTERM-driven graceful shutdown, and a distinct exit status per
 // way a run can end. Every tool's main reduces to
 //
-//	func main() { log.SetPrefix(...); os.Exit(cli.Main(run)) }
+//	func main() { os.Exit(cli.Main(run)) }
 //	func run(ctx context.Context) error { ... }
 //
 // so that run's defers — the telemetry flush above all — always execute
@@ -15,7 +15,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -79,7 +79,7 @@ func ExitCode(err error) int {
 func Main(run func(ctx context.Context) error) int {
 	err := run(context.Background())
 	if err != nil {
-		log.Print(err)
+		slog.Error(err.Error())
 	}
 	return ExitCode(err)
 }

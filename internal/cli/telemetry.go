@@ -1,19 +1,21 @@
 // Telemetry wiring shared by the command-line tools. Every tool registers
-// the same three flags — -trace for a structured JSONL run trace,
-// -metrics-addr for a live Prometheus/expvar endpoint, and -progress for
-// per-workload search progress on stderr — and funnels them through
-// StartTelemetry, which connects the telemetry substrate to the evaluation
-// engine and hands back adapters for the layers that emit events. All of
-// it is opt-in: with no flags set, StartTelemetry returns a *Telemetry
-// whose every method is a cheap no-op and the instrumented hot paths stay
-// at their uninstrumented cost.
+// the same flags — -trace for a structured JSONL run trace, -spans for a
+// hierarchical execution-span stream (the xptrace input), -metrics-addr
+// for a live Prometheus/expvar endpoint, and -progress for per-workload
+// search progress on stderr — and funnels them through StartTelemetry,
+// which connects the telemetry substrate to the evaluation engine and
+// hands back adapters for the layers that emit events. All of it is
+// opt-in: with no flags set, StartTelemetry returns a *Telemetry whose
+// every method is a cheap no-op and the instrumented hot paths stay at
+// their uninstrumented cost.
 
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -26,12 +28,16 @@ import (
 	"xpscalar/internal/session"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 )
 
-// TelemetryConfig carries the three observability flags.
+// TelemetryConfig carries the observability flags.
 type TelemetryConfig struct {
 	// TracePath is the JSONL trace file ("" for none).
 	TracePath string
+	// SpansPath is the hierarchical span-stream file ("" for none);
+	// analyze or export it with cmd/xptrace.
+	SpansPath string
 	// MetricsAddr is the listen address for the /metrics endpoint ("" for
 	// none).
 	MetricsAddr string
@@ -39,10 +45,11 @@ type TelemetryConfig struct {
 	Progress bool
 }
 
-// RegisterFlags registers -trace, -metrics-addr and -progress on the
-// default flag set, pointing at this config.
+// RegisterFlags registers -trace, -spans, -metrics-addr and -progress on
+// the default flag set, pointing at this config.
 func (c *TelemetryConfig) RegisterFlags() {
 	flag.StringVar(&c.TracePath, "trace", "", "write a structured JSONL run trace to this file")
+	flag.StringVar(&c.SpansPath, "spans", "", "record hierarchical execution spans to this file (analyze with xptrace)")
 	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics on this address (e.g. 127.0.0.1:9090)")
 	flag.BoolVar(&c.Progress, "progress", false, "report search progress to stderr")
 }
@@ -57,6 +64,12 @@ type Telemetry struct {
 	server   *telemetry.Server
 	progress *progressObserver
 	start    time.Time
+
+	tool      string
+	spansPath string
+	rec       *tracing.Recorder
+	root      tracing.Handle
+	runSpan   tracing.Span
 }
 
 // StartTelemetry opens the sink and metrics endpoint requested by cfg,
@@ -68,12 +81,16 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 	if sess == nil {
 		sess = session.Default()
 	}
-	t := &Telemetry{sess: sess, start: time.Now()}
-	if cfg.TracePath == "" && cfg.MetricsAddr == "" && !cfg.Progress {
+	t := &Telemetry{sess: sess, start: time.Now(), tool: tool}
+	if cfg.TracePath == "" && cfg.SpansPath == "" && cfg.MetricsAddr == "" && !cfg.Progress {
 		return t, nil
 	}
 	if cfg.Progress {
 		t.progress = newProgressObserver(os.Stderr)
+	}
+	if cfg.SpansPath != "" {
+		t.spansPath = cfg.SpansPath
+		t.rec = tracing.NewRecorder()
 	}
 	if cfg.MetricsAddr != "" {
 		reg := telemetry.Default()
@@ -83,7 +100,7 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 			return t, err
 		}
 		t.server = srv
-		log.Printf("serving metrics on http://%s/metrics", srv.Addr())
+		slog.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
 	}
 	if cfg.TracePath != "" {
 		sink, err := telemetry.OpenSink(cfg.TracePath)
@@ -97,6 +114,20 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 		sess.SetEvalObserver(obs)
 	}
 	return t, nil
+}
+
+// Context attaches the run's span recorder to ctx and opens the root run
+// span, under which every span the instrumented layers emit will nest.
+// With -spans unset it returns ctx unchanged. Call it once, right after
+// StartTelemetry, and pass the returned context to the run.
+func (t *Telemetry) Context(ctx context.Context) context.Context {
+	if t == nil || t.rec == nil {
+		return ctx
+	}
+	ctx = tracing.NewContext(ctx, t.rec)
+	t.root = tracing.FromContext(ctx)
+	t.runSpan = t.root.Begin(tracing.KindRun, t.tool, 0)
+	return tracing.ChildContext(ctx, t.runSpan)
 }
 
 // manifest captures what this run is: the tool, its effective flag values,
@@ -239,9 +270,16 @@ func (t *Telemetry) Close() error {
 		if err := t.sink.Close(); err != nil {
 			firstErr = fmt.Errorf("trace: %w", err)
 		} else {
-			log.Printf("trace: %d events written", n)
+			slog.Info("trace written", "events", n)
 		}
 		t.sink = nil
+	}
+	if t.rec != nil {
+		t.root.End(t.runSpan)
+		if err := t.writeSpans(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("spans: %w", err)
+		}
+		t.rec = nil
 	}
 	if t.server != nil {
 		if err := t.server.Close(); err != nil && firstErr == nil {
@@ -250,4 +288,22 @@ func (t *Telemetry) Close() error {
 		t.server = nil
 	}
 	return firstErr
+}
+
+// writeSpans flushes the recorded span stream to the -spans file.
+func (t *Telemetry) writeSpans() error {
+	f, err := os.Create(t.spansPath)
+	if err != nil {
+		return err
+	}
+	spans := t.rec.Spans()
+	if err := tracing.WriteSpans(f, t.tool, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	slog.Info("spans written", "spans", len(spans), "path", t.spansPath)
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
+	"xpscalar/internal/tracing"
 	"xpscalar/internal/workload"
 )
 
@@ -50,9 +51,15 @@ func BuildMatrixObserved(ctx context.Context, eng *evalengine.Engine, profiles [
 		ipt[i] = make([]float64, len(configs))
 	}
 
-	if err := eng.Pool().Map(ctx, len(profiles)*len(configs), func(k int) error {
+	if err := eng.Pool().MapCtx(ctx, len(profiles)*len(configs), func(cctx context.Context, k int) error {
 		w, a := k/len(configs), k%len(configs)
-		ev, err := eng.Evaluate(ctx, configs[a], profiles[w], n, t, power.ObjIPT)
+		h := tracing.FromContext(cctx)
+		sp := h.Begin(tracing.KindCell, profiles[w].Name, int64(a))
+		if sp.ID != 0 {
+			cctx = tracing.ChildContext(cctx, sp)
+		}
+		ev, err := eng.Evaluate(cctx, configs[a], profiles[w], n, t, power.ObjIPT)
+		h.End(sp)
 		if err != nil {
 			return fmt.Errorf("core: %s on %s's arch: %w", profiles[w].Name, names[a], err)
 		}

@@ -28,6 +28,7 @@ import (
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 	"xpscalar/internal/workload"
 )
 
@@ -254,6 +255,12 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	}
 	e.requests.Add(1)
 	obs := e.obs.Load()
+	// One span per request; the kind is finalized to hit/dedup/miss once
+	// the outcome is known, so the attribution table separates cache
+	// effectiveness classes. A disabled handle makes every tracing line
+	// here a single branch.
+	h := tracing.FromContext(ctx)
+	sp := h.Begin(tracing.KindEvalMiss, p.Name, int64(budget))
 	key := Fingerprint(cfg, p, budget, t, obj)
 	sh := e.shard(key)
 
@@ -263,24 +270,28 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 		me := el.Value.(*memoEntry)
 		sh.mu.Unlock()
 		outcome := "hit"
+		sp.Kind = tracing.KindEvalHit
 		select {
 		case <-me.ready:
 			e.hits.Add(1)
 		default:
 			e.deduped.Add(1)
 			outcome = "dedup"
+			sp.Kind = tracing.KindEvalDedup
 			select {
 			case <-me.ready:
 			case <-ctx.Done():
 				// The simulation we joined keeps running in its owner's
 				// goroutine and will be memoized there; only this waiter
 				// gives up.
+				h.End(sp)
 				return Eval{}, ctx.Err()
 			}
 		}
 		if obs != nil {
 			(*obs).ObserveEval(record(p.Name, budget, outcome, 0, me.val, me.err))
 		}
+		h.End(sp)
 		return me.val, me.err
 	}
 	me := &memoEntry{key: key, ready: make(chan struct{})}
@@ -299,7 +310,7 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	if hist != nil || obs != nil {
 		begin = time.Now()
 	}
-	me.val, me.err = e.compute(cfg, p, budget, t, obj)
+	me.val, me.err = e.compute(h.WithParent(sp), cfg, p, budget, t, obj)
 	close(me.ready)
 	if hist != nil || obs != nil {
 		wall := time.Since(begin)
@@ -310,6 +321,7 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 			(*obs).ObserveEval(record(p.Name, budget, "miss", wall.Nanoseconds(), me.val, me.err))
 		}
 	}
+	h.End(sp)
 	return me.val, me.err
 }
 
@@ -340,14 +352,20 @@ func (e *Engine) CacheEntries() int {
 // compute runs one simulation, replaying the profile's cached instruction
 // stream. Bit-identical to sim.Run(cfg, p, budget, t): the pipeline
 // consumes exactly budget instructions and the stream is deterministic.
-func (e *Engine) compute(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+// The handle (parented at the enclosing evaluation span) splits the miss
+// into a source-materialization span and the simulation proper.
+func (e *Engine) compute(h tracing.Handle, cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (Eval, error) {
+	ssp := h.Begin(tracing.KindSource, p.Name, int64(budget))
 	src, err := e.traces.source(p, budget)
+	h.End(ssp)
 	if err != nil {
 		return Eval{}, err
 	}
+	msp := h.Begin(tracing.KindSimulate, p.Name, int64(budget))
 	runner := e.runners.Get().(*sim.Runner)
 	r, err := runner.RunSource(cfg, src, p.Name, budget, t)
 	e.runners.Put(runner)
+	h.End(msp)
 	if err != nil {
 		return Eval{}, err
 	}

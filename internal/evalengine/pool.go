@@ -10,8 +10,12 @@ package evalengine
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"xpscalar/internal/tracing"
 )
 
 // Pool runs indexed jobs with bounded parallelism. The zero value is not
@@ -63,6 +67,16 @@ func (p *Pool) Workers() int { return p.workers }
 // deterministic regardless of scheduling; when no job failed but the
 // context was cancelled it returns the context's error.
 func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
+	return p.MapCtx(ctx, n, func(_ context.Context, i int) error { return fn(i) })
+}
+
+// MapCtx is Map for jobs that need the worker's context: fn receives a
+// context derived from ctx and tagged with the worker's identity — a
+// tracing track (so spans emitted by the job land on one Chrome-trace lane
+// per worker) and a dispatch span each job's spans nest under. Every
+// worker goroutine additionally runs under a pprof "xp_worker" label, so
+// CPU profiles attribute samples to pool workers even when tracing is off.
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -74,32 +88,46 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	traced := tracing.FromContext(ctx).Enabled()
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
-			for {
-				if failed.Load() || ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				p.jobs.Add(1)
-				p.active.Add(1)
-				err := fn(i)
-				p.active.Add(-1)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
+			wctx := ctx
+			if traced {
+				wctx = tracing.WithTrack(ctx, k+1)
 			}
-		}()
+			pprof.Do(wctx, pprof.Labels("xp_worker", strconv.Itoa(k)), func(wctx context.Context) {
+				h := tracing.FromContext(wctx)
+				for {
+					if failed.Load() || wctx.Err() != nil {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					p.jobs.Add(1)
+					p.active.Add(1)
+					jctx := wctx
+					sp := h.Begin(tracing.KindDispatch, "", int64(i))
+					if sp.ID != 0 {
+						jctx = tracing.ChildContext(wctx, sp)
+					}
+					err := fn(jctx, i)
+					h.End(sp)
+					p.active.Add(-1)
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+					}
+				}
+			})
+		}(k)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -18,13 +18,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/timing"
+	"xpscalar/internal/tracing"
 	"xpscalar/internal/workload"
 )
 
@@ -137,14 +140,23 @@ func Workload(ctx context.Context, p workload.Profile, opt Options) (Outcome, er
 		return Outcome{}, err
 	}
 
+	// The workload span covers every chain plus selection; chains fan out
+	// through MapCtx so their spans land on per-worker tracks.
+	h := tracing.FromContext(ctx)
+	wsp := h.Begin(tracing.KindWorkload, p.Name, 0)
+	defer h.End(wsp)
+	if wsp.ID != 0 {
+		ctx = tracing.ChildContext(ctx, wsp)
+	}
+
 	type chainResult struct {
 		out Outcome
 		err error
 	}
 	results := make([]chainResult, opt.Chains)
 	pool := opt.Engine.Pool()
-	mapErr := pool.Map(ctx, opt.Chains, func(ci int) error {
-		out, err := runChain(ctx, p, opt, opt.Seed+int64(ci)*7919, ci)
+	mapErr := pool.MapCtx(ctx, opt.Chains, func(cctx context.Context, ci int) error {
+		out, err := runChain(cctx, p, opt, opt.Seed+int64(ci)*7919, ci)
 		results[ci] = chainResult{out, err}
 		return nil
 	})
@@ -323,10 +335,30 @@ func bump(v int, rng *rand.Rand, lo, hi int) int {
 	return v
 }
 
-func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, chain int) (Outcome, error) {
+// runChain runs one annealing chain under a pprof label set naming the
+// workload and chain, so CPU profiles attribute pipeline samples to the
+// benchmark and chain that spent them, and under a chain span when the
+// context carries a recorder. Neither affects the search: no randomness is
+// consumed and no decision depends on them.
+func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, chain int) (out Outcome, err error) {
+	h := tracing.FromContext(ctx)
+	csp := h.Begin(tracing.KindChain, p.Name, int64(chain))
+	defer h.End(csp)
+	if csp.ID != 0 {
+		ctx = tracing.ChildContext(ctx, csp)
+	}
+	labels := pprof.Labels("xp_workload", p.Name, "xp_chain", strconv.Itoa(chain))
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		out, err = chainBody(ctx, p, opt, seed, chain)
+	})
+	return out, err
+}
+
+func chainBody(ctx context.Context, p workload.Profile, opt Options, seed int64, chain int) (Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	t := opt.Tech
 	eng := opt.Engine
+	h := tracing.FromContext(ctx)
 
 	budgetAt := func(iter int) int {
 		if iter > opt.Iterations*3/5 {
@@ -334,7 +366,7 @@ func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, 
 		}
 		return opt.ShortBudget
 	}
-	evaluate := func(cfg sim.Config, iter int) (score, ipt float64, err error) {
+	evaluate := func(ctx context.Context, cfg sim.Config, iter int) (score, ipt float64, err error) {
 		ev, err := eng.Evaluate(ctx, cfg, p, budgetAt(iter), t, opt.Objective)
 		if err != nil {
 			return 0, 0, err
@@ -362,7 +394,7 @@ func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, 
 		return Outcome{}, fmt.Errorf("explore: initial point infeasible for %s", p.Name)
 	}
 	out := Outcome{Workload: p.Name}
-	curScore, _, err := evaluate(curCfg, 0)
+	curScore, _, err := evaluate(ctx, curCfg, 0)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -376,6 +408,15 @@ func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, 
 		// (BenchmarkAnnealLoopCtxCheck pins the cost).
 		if err := ctx.Err(); err != nil {
 			return Outcome{}, err
+		}
+		// The step span covers move generation, fit, evaluation and the
+		// accept decision. The disabled path adds one branch per
+		// iteration and no allocations (BenchmarkAnnealLoopCtxCheck still
+		// pins the loop's overhead).
+		ssp := h.Begin(tracing.KindStep, p.Name, int64(i))
+		ictx := ctx
+		if ssp.ID != 0 {
+			ictx = tracing.ChildContext(ctx, ssp)
 		}
 		var cand point
 		var move string
@@ -395,10 +436,12 @@ func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, 
 				CurrentScore: curScore, BestScore: bestScore,
 			})
 			temp *= opt.CoolRate
+			h.End(ssp)
 			continue
 		}
-		candScore, _, err := evaluate(candCfg, i)
+		candScore, _, err := evaluate(ictx, candCfg, i)
 		if err != nil {
+			h.End(ssp)
 			return Outcome{}, err
 		}
 		out.Evaluations++
@@ -432,6 +475,7 @@ func runChain(ctx context.Context, p workload.Profile, opt Options, seed int64, 
 			RolledBack: rolledBack,
 		})
 		temp *= opt.CoolRate
+		h.End(ssp)
 	}
 
 	// Final re-evaluation of the best point at the long budget so the
@@ -470,11 +514,11 @@ func Suite(ctx context.Context, profiles []workload.Profile, opt Options) ([]Out
 		return nil, err
 	}
 	outs := make([]Outcome, len(profiles))
-	if err := opt.Engine.Pool().Map(ctx, len(profiles), func(i int) error {
+	if err := opt.Engine.Pool().MapCtx(ctx, len(profiles), func(wctx context.Context, i int) error {
 		o := opt
 		o.Seed = opt.Seed + int64(i)*104729
 		var err error
-		outs[i], err = Workload(ctx, profiles[i], o)
+		outs[i], err = Workload(wctx, profiles[i], o)
 		return err
 	}); err != nil {
 		var done []Outcome
@@ -508,9 +552,9 @@ func crossSeed(ctx context.Context, profiles []workload.Profile, outs []Outcome,
 	ipts := make([]float64, len(jobs))
 	raws := make([]float64, len(jobs))
 	eng := opt.Engine
-	if err := eng.Pool().Map(ctx, len(jobs), func(ji int) error {
+	if err := eng.Pool().MapCtx(ctx, len(jobs), func(jctx context.Context, ji int) error {
 		j := jobs[ji]
-		ev, err := eng.Evaluate(ctx, outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
+		ev, err := eng.Evaluate(jctx, outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
 		if err != nil {
 			return err
 		}

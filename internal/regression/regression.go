@@ -190,8 +190,8 @@ func CollectSamples(ctx context.Context, eng *evalengine.Engine, p workload.Prof
 		return nil, fmt.Errorf("regression: no configurations")
 	}
 	samples := make([]Sample, len(configs))
-	if err := eng.Pool().Map(ctx, len(configs), func(i int) error {
-		ev, err := eng.Evaluate(ctx, configs[i], p, instr, t, power.ObjIPT)
+	if err := eng.Pool().MapCtx(ctx, len(configs), func(sctx context.Context, i int) error {
+		ev, err := eng.Evaluate(sctx, configs[i], p, instr, t, power.ObjIPT)
 		if err != nil {
 			return err
 		}

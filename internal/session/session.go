@@ -23,6 +23,7 @@ import (
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 	"xpscalar/internal/workload"
 )
 
@@ -31,6 +32,13 @@ type Options struct {
 	// Engine sizes the session's evaluation engine (cache entries,
 	// shards, trace cap, pool workers).
 	Engine evalengine.Options
+	// Recorder, when non-nil, records hierarchical execution spans for
+	// every run on this session (see internal/tracing). Contexts that
+	// already carry a recorder — the CLI installs one rooted at a run
+	// span — take precedence; the session's recorder is the programmatic
+	// seam. Nil (the default) keeps every instrumented path at its
+	// uninstrumented cost.
+	Recorder *tracing.Recorder
 }
 
 // Session is one instance of the evaluation stack. Safe for concurrent
@@ -39,11 +47,12 @@ type Options struct {
 // say) are simulated once per session.
 type Session struct {
 	engine *evalengine.Engine
+	rec    *tracing.Recorder
 }
 
 // New constructs an isolated session.
 func New(o Options) *Session {
-	return &Session{engine: evalengine.New(o.Engine)}
+	return &Session{engine: evalengine.New(o.Engine), rec: o.Recorder}
 }
 
 var (
@@ -62,6 +71,15 @@ func Default() *Session {
 
 // Engine returns the session's evaluation engine.
 func (s *Session) Engine() *evalengine.Engine { return s.engine }
+
+// Recorder returns the session's span recorder (nil when tracing is off).
+func (s *Session) Recorder() *tracing.Recorder { return s.rec }
+
+// trace attaches the session's recorder to ctx unless one is already
+// installed; with no recorder configured this is a no-op returning ctx.
+func (s *Session) trace(ctx context.Context) context.Context {
+	return tracing.Ensure(ctx, s.rec)
+}
 
 // Pool returns the session's worker pool, the fan-out primitive every
 // simulation caller in the session shares.
@@ -83,14 +101,14 @@ func (s *Session) SetEvalObserver(o evalengine.EvalObserver) { s.engine.SetEvalO
 
 // Evaluate runs one memoized evaluation on the session's engine.
 func (s *Session) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) (evalengine.Eval, error) {
-	return s.engine.Evaluate(ctx, cfg, p, budget, t, obj)
+	return s.engine.Evaluate(s.trace(ctx), cfg, p, budget, t, obj)
 }
 
 // Explore runs the annealing search for one workload on this session.
 // opt.Engine is overridden with the session's engine.
 func (s *Session) Explore(ctx context.Context, p workload.Profile, opt explore.Options) (explore.Outcome, error) {
 	opt.Engine = s.engine
-	return explore.Workload(ctx, p, opt)
+	return explore.Workload(s.trace(ctx), p, opt)
 }
 
 // ExploreSuite explores every profile on this session (with the paper's
@@ -99,20 +117,20 @@ func (s *Session) Explore(ctx context.Context, p workload.Profile, opt explore.O
 // context's error.
 func (s *Session) ExploreSuite(ctx context.Context, profiles []workload.Profile, opt explore.Options) ([]explore.Outcome, error) {
 	opt.Engine = s.engine
-	return explore.Suite(ctx, profiles, opt)
+	return explore.Suite(s.trace(ctx), profiles, opt)
 }
 
 // CrossMatrix builds the cross-configuration IPT matrix on this session.
 func (s *Session) CrossMatrix(ctx context.Context, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*core.Matrix, error) {
-	return core.BuildMatrix(ctx, s.engine, profiles, configs, n, t)
+	return core.BuildMatrix(s.trace(ctx), s.engine, profiles, configs, n, t)
 }
 
 // CrossMatrixObserved is CrossMatrix with a per-cell completion callback.
 func (s *Session) CrossMatrixObserved(ctx context.Context, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params, cell core.CellFunc) (*core.Matrix, error) {
-	return core.BuildMatrixObserved(ctx, s.engine, profiles, configs, n, t, cell)
+	return core.BuildMatrixObserved(s.trace(ctx), s.engine, profiles, configs, n, t, cell)
 }
 
 // CollectSamples gathers regression training data on this session.
 func (s *Session) CollectSamples(ctx context.Context, p workload.Profile, configs []sim.Config, instr int, t tech.Params) ([]regression.Sample, error) {
-	return regression.CollectSamples(ctx, s.engine, p, configs, instr, t)
+	return regression.CollectSamples(s.trace(ctx), s.engine, p, configs, instr, t)
 }

@@ -65,6 +65,50 @@ func TestListenAndServe(t *testing.T) {
 	}
 }
 
+// The operational endpoints: /healthz answers ok, /buildinfo identifies
+// the build, and the pprof index is mounted on the custom mux.
+func TestOperationalEndpoints(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/buildinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&bi)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi["go_version"] == "" {
+		t.Errorf("/buildinfo missing go_version: %v", bi)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, body lacks profile index", resp.StatusCode)
+	}
+}
+
 func TestListenAndServeBadAddr(t *testing.T) {
 	if _, err := ListenAndServe("256.256.256.256:0", NewRegistry()); err == nil {
 		t.Error("binding an invalid address did not fail")

@@ -1,0 +1,245 @@
+// Span-stream persistence and the two exporters. The stream format is
+// JSONL like the telemetry run trace: a header line identifying the file,
+// then one span per line in start order, so partial files from interrupted
+// runs stay parseable. The Chrome exporter emits the trace-event format
+// (the JSON object form with a traceEvents array) that chrome://tracing
+// and Perfetto load directly, one named thread per worker track; the
+// attribution exporter folds the span tree into a per-kind self/total
+// table — the "where did the run's time go" answer at a glance.
+
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// streamMagic identifies a span-stream file's header line.
+const streamMagic = "xptrace-spans"
+
+// Meta is the header line of a span stream.
+type Meta struct {
+	Stream string `json:"stream"`
+	// Tool names the command that recorded the stream.
+	Tool string `json:"tool,omitempty"`
+	// Spans is the number of span lines that follow (informational; readers
+	// must tolerate fewer from interrupted runs).
+	Spans int `json:"spans"`
+}
+
+// WriteSpans writes a span stream: the header, then one span per line.
+func WriteSpans(w io.Writer, tool string, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Meta{Stream: streamMagic, Tool: tool, Spans: len(spans)}); err != nil {
+		return fmt.Errorf("tracing: span stream header: %w", err)
+	}
+	for i, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("tracing: span %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a span stream written by WriteSpans.
+func ReadSpans(r io.Reader) (Meta, []Span, error) {
+	dec := json.NewDecoder(r)
+	var meta Meta
+	if err := dec.Decode(&meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("tracing: span stream header: %w", err)
+	}
+	if meta.Stream != streamMagic {
+		return Meta{}, nil, fmt.Errorf("tracing: not a span stream (header %q)", meta.Stream)
+	}
+	var spans []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return meta, spans, nil
+		} else if err != nil {
+			return meta, spans, fmt.Errorf("tracing: span line %d: %w", len(spans)+2, err)
+		}
+		spans = append(spans, s)
+	}
+}
+
+// chromeEvent is one Chrome trace-event object. Field order is fixed by
+// the struct, so the exported bytes are deterministic for a given input —
+// the golden test depends on it.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports spans as a Chrome trace-event JSON document
+// loadable in chrome://tracing or Perfetto. Tracks become named threads:
+// track 0 is "main", track 1+w is "worker w". Timestamps are microseconds
+// (the format's unit) relative to the recorder's origin.
+func WriteChromeTrace(w io.Writer, tool string, spans []Span) error {
+	tracks := map[int32]bool{}
+	for _, s := range spans {
+		tracks[s.Track] = true
+	}
+	order := make([]int32, 0, len(tracks))
+	for t := range tracks {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	events := make([]chromeEvent, 0, len(spans)+len(order)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": tool},
+	})
+	for _, t := range order {
+		name := "main"
+		if t > 0 {
+			name = fmt.Sprintf("worker %d", t-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: int(t),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		name := s.Kind
+		if s.Name != "" {
+			name = s.Kind + " " + s.Name
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.DurNs()) / 1e3,
+			Pid:  1,
+			Tid:  int(s.Track),
+			Args: map[string]any{"id": uint64(s.ID), "parent": uint64(s.Parent), "arg": s.Arg},
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		buf, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("tracing: chrome event %d: %w", i, err)
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// KindStat aggregates the spans of one kind: how many there were, the
+// total (inclusive) time they covered, and the self time — total minus the
+// time covered by their child spans, i.e. the time attributable to that
+// layer itself rather than the layers below it.
+type KindStat struct {
+	Kind    string
+	Count   int
+	TotalNs int64
+	SelfNs  int64
+	MaxNs   int64
+}
+
+// Aggregate folds spans into per-kind statistics, ordered by descending
+// self time. Orphan spans (parent missing from the set) simply contribute
+// no child time upward; negative self times from clock skew are clamped.
+func Aggregate(spans []Span) []KindStat {
+	childNs := make(map[SpanID]int64, len(spans))
+	for _, s := range spans {
+		if s.Parent != 0 {
+			childNs[s.Parent] += s.DurNs()
+		}
+	}
+	byKind := map[string]*KindStat{}
+	for _, s := range spans {
+		st := byKind[s.Kind]
+		if st == nil {
+			st = &KindStat{Kind: s.Kind}
+			byKind[s.Kind] = st
+		}
+		d := s.DurNs()
+		st.Count++
+		st.TotalNs += d
+		if self := d - childNs[s.ID]; self > 0 {
+			st.SelfNs += self
+		}
+		if d > st.MaxNs {
+			st.MaxNs = d
+		}
+	}
+	out := make([]KindStat, 0, len(byKind))
+	for _, st := range byKind {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfNs != out[j].SelfNs {
+			return out[i].SelfNs > out[j].SelfNs
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// WriteAttribution renders the aggregated self/total table. Self
+// percentages are against the sum of self times (which equals the run's
+// covered wall-clock across tracks), so the column sums to ~100%.
+func WriteAttribution(w io.Writer, spans []Span) error {
+	stats := Aggregate(spans)
+	var selfSum int64
+	for _, st := range stats {
+		selfSum += st.SelfNs
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %8s %12s %12s %7s %12s\n",
+		"kind", "count", "total", "self", "self%", "max"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		pct := 0.0
+		if selfSum > 0 {
+			pct = 100 * float64(st.SelfNs) / float64(selfSum)
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %8d %12s %12s %6.1f%% %12s\n",
+			st.Kind, st.Count, fmtNs(st.TotalNs), fmtNs(st.SelfNs), pct, fmtNs(st.MaxNs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtNs renders a duration compactly with a unit chosen by magnitude.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
