@@ -28,7 +28,7 @@ race-hot:
 # pre-rework baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'Table4|Table5' -benchtime=1x .
-	$(GO) run ./cmd/benchjson -out BENCH_kernel.json -benchtime 3x
+	$(GO) run ./cmd/benchjson -out BENCH_kernel.json -benchtime 20x
 
 # bench-smoke runs every benchmark in the tree exactly once: a cheap guard
 # that benchmark code compiles and completes, without measuring anything.
@@ -38,7 +38,7 @@ bench-smoke:
 # bench-compare runs the kernel benchmark set fresh and diffs it against
 # the committed recording, failing past a 15% ns/op regression.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json -benchtime 3x
+	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json -benchtime 20x
 
 # verify is the pre-merge gate: static checks, a full build, the test
 # suite under the race detector, and one pass of the headline reproduction

@@ -4,6 +4,11 @@
 // tool's output: re-run it after kernel changes (`make bench`) so the
 // recorded numbers always describe the tree they sit in.
 //
+// Every suite entry runs -repeat times and the fastest run (per benchmark)
+// is kept: scheduler and neighbor noise is one-sided — it only ever adds
+// time — so the per-run minimum is a robust estimate of the true cost
+// floor, on recording and comparison alike.
+//
 // With -compare it instead runs the suite and diffs the fresh numbers
 // against the Current section of a previously recorded file, printing a
 // per-benchmark delta table and exiting non-zero when any ns/op regresses
@@ -11,8 +16,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_kernel.json] [-benchtime 3x]
-//	go run ./cmd/benchjson [-compare BENCH_kernel.json] [-threshold 15] [-benchtime 3x]
+//	go run ./cmd/benchjson [-out BENCH_kernel.json] [-benchtime 20x] [-repeat 5]
+//	go run ./cmd/benchjson [-compare BENCH_kernel.json] [-threshold 15] [-benchtime 20x] [-repeat 5]
 package main
 
 import (
@@ -31,13 +36,14 @@ import (
 )
 
 // suite is the kernel benchmark set: the macro annealing chain, the
-// sim-level evaluation, the raw pipeline loop, and the steady-state
-// reusable-runner path that the evaluation engine rides.
+// sim-level evaluation, the raw pipeline loop, the steady-state
+// reusable-runner path that the evaluation engine rides, and the N=8
+// lockstep kernel that batched evaluations amortize the stream over.
 var suite = []struct {
 	pkg     string
 	pattern string
 }{
-	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState"},
+	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner"},
 	{"./internal/pipeline", "BenchmarkPipelineGCC"},
 	{".", "BenchmarkAnnealChainKernel"},
 }
@@ -76,7 +82,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output file")
-	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
+	repeat := flag.Int("repeat", 5, "runs per suite entry; the fastest run of each benchmark is kept")
 	compare := flag.String("compare", "", "diff a fresh run against this recorded file instead of writing one")
 	threshold := flag.Float64("threshold", 15, "with -compare, fail when ns/op regresses by more than this percent")
 	var lcfg cli.LogConfig
@@ -87,14 +94,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *repeat < 1 {
+		*repeat = 1
+	}
 	var current []Benchmark
 	for _, s := range suite {
-		results, err := run(s.pkg, s.pattern, *benchtime)
-		if err != nil {
-			slog.Error(err.Error(), "package", s.pkg)
-			os.Exit(1)
+		var best []Benchmark
+		for r := 0; r < *repeat; r++ {
+			results, err := run(s.pkg, s.pattern, *benchtime)
+			if err != nil {
+				slog.Error(err.Error(), "package", s.pkg)
+				os.Exit(1)
+			}
+			best = keepFastest(best, results)
 		}
-		current = append(current, results...)
+		current = append(current, best...)
 	}
 
 	if *compare != "" {
@@ -178,6 +192,29 @@ func compareRun(path string, current []Benchmark, threshold float64) int {
 	}
 	fmt.Printf("all benchmarks within %.0f%% of %s\n", threshold, path)
 	return 0
+}
+
+// keepFastest merges one repeat's results into the accumulated best set,
+// keeping whichever whole run of each benchmark had the lower ns/op (its
+// secondary metrics travel with it, so a benchmark's numbers always come
+// from a single run).
+func keepFastest(best, fresh []Benchmark) []Benchmark {
+	for _, f := range fresh {
+		replaced := false
+		for i, b := range best {
+			if b.Name == f.Name {
+				if f.Metrics["ns/op"] < b.Metrics["ns/op"] {
+					best[i] = f
+				}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			best = append(best, f)
+		}
+	}
+	return best
 }
 
 // run executes one `go test -bench` invocation and parses its result lines.

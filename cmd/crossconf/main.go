@@ -7,7 +7,7 @@
 // Usage:
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
-//	          [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	          [-lockstep=false] [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // Matrices go to stdout; diagnostics go to stderr. With -source sim, -trace
@@ -24,6 +24,7 @@ import (
 
 	"xpscalar/internal/cli"
 	"xpscalar/internal/core"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/report"
 	"xpscalar/internal/session"
 	"xpscalar/internal/store"
@@ -42,6 +43,7 @@ func run(ctx context.Context) error {
 		iters      = flag.Int("iterations", 200, "annealing iterations (sim source)")
 		seed       = flag.Int64("seed", 42, "seed (sim source)")
 		saveM      = flag.String("savematrix", "", "write the matrix to this JSON file")
+		lockstep   = flag.Bool("lockstep", true, "simulate grouped cache misses in lockstep over a shared instruction stream")
 		evalstats  = flag.Bool("evalstats", false, "print evaluation-engine cache counters after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -70,7 +72,9 @@ func run(ctx context.Context) error {
 		}
 	}()
 
-	sess := session.Default()
+	sess := session.New(session.Options{
+		Engine: evalengine.Options{DisableLockstep: !*lockstep},
+	})
 	tel, err := cli.StartTelemetry("crossconf", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
-//	         [-timeout d] [-evalstats] [-trace file] [-spans file] [-metrics-addr addr]
+//	         [-neighborhood k] [-lockstep=false] [-timeout d] [-evalstats]
+//	         [-trace file] [-spans file] [-metrics-addr addr]
 //	         [-progress] [-log-level l] [-log-format text|json]
 //	         [-cpuprofile file] [-memprofile file]
 //
@@ -15,6 +16,14 @@
 // -progress) go to stderr. -trace writes a structured JSONL run trace,
 // -spans records hierarchical execution spans for cmd/xptrace, and
 // -metrics-addr serves live Prometheus metrics while the search runs.
+//
+// Cache-missing evaluations submitted together are simulated as lockstep
+// groups over one shared replay of the workload's instruction stream;
+// -lockstep=false falls back to scalar simulation (bit-identical results,
+// useful for A/B timing and as the reference in xptrace diff).
+// -neighborhood k with k >= 2 widens each annealing step to a best-of-k
+// proposal evaluated as one batch — a different (often better) search
+// trajectory, so it changes the outcomes, unlike -lockstep.
 //
 // The run is interruptible: Ctrl-C (or -timeout expiry) stops the search
 // at the next annealing iteration, prints the outcomes of the workloads
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"xpscalar/internal/cli"
+	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
 	"xpscalar/internal/power"
 	"xpscalar/internal/report"
@@ -54,6 +64,8 @@ func run(ctx context.Context) error {
 		seed       = flag.Int64("seed", 42, "exploration seed")
 		obj        = flag.String("objective", "ipt", "exploration objective: ipt|ipt-per-watt|edp|ed2p")
 		save       = flag.String("save", "", "write outcomes to this JSON file")
+		neighbors  = flag.Int("neighborhood", 1, "candidate moves per annealing step; >=2 evaluates each step's neighborhood as one lockstep batch")
+		lockstep   = flag.Bool("lockstep", true, "simulate grouped cache misses in lockstep over a shared instruction stream")
 		evalstats  = flag.Bool("evalstats", false, "print evaluation-engine cache counters after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -72,7 +84,9 @@ func run(ctx context.Context) error {
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
 
-	sess := session.Default()
+	sess := session.New(session.Options{
+		Engine: evalengine.Options{DisableLockstep: !*lockstep},
+	})
 	tel, err := cli.StartTelemetry("xpscalar", sess, tcfg)
 	defer func() {
 		if cerr := tel.Close(); cerr != nil {
@@ -100,6 +114,7 @@ func run(ctx context.Context) error {
 	opt.Chains = *chains
 	opt.ShortBudget = *short
 	opt.LongBudget = *long
+	opt.NeighborhoodK = *neighbors
 	switch *obj {
 	case "ipt":
 		opt.Objective = power.ObjIPT

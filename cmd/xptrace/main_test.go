@@ -34,10 +34,11 @@ func buildTools(t *testing.T) (xpscalar, xptrace string) {
 }
 
 // explore runs one tiny traced exploration and returns its stdout.
-func explore(t *testing.T, bin, trace, spans string, seed string) []byte {
+func explore(t *testing.T, bin, trace, spans string, seed string, extra ...string) []byte {
 	t.Helper()
 	args := []string{"-workload", "gzip", "-iterations", "30", "-chains", "2",
 		"-short", "2000", "-long", "4000", "-seed", seed}
+	args = append(args, extra...)
 	if trace != "" {
 		args = append(args, "-trace", trace)
 	}
@@ -69,6 +70,14 @@ func TestEndToEnd(t *testing.T) {
 	outPlain := explore(t, xpscalarBin, "", "", "42")
 	explore(t, xpscalarBin, traceB, "", "42")
 	explore(t, xpscalarBin, traceC, "", "7")
+	traceScalar := filepath.Join(dir, "scalar.jsonl")
+	outScalar := explore(t, xpscalarBin, traceScalar, "", "42", "-lockstep=false")
+
+	// Lockstep grouping is an execution strategy, not a model change: a
+	// scalar-simulation run must produce the same Table 4 byte for byte.
+	if !bytes.Equal(outTraced, outScalar) {
+		t.Errorf("stdout differs with -lockstep=false:\n--- lockstep\n%s--- scalar\n%s", outTraced, outScalar)
+	}
 
 	// Tracing must not perturb the run: stdout (the Table 4 analogue) is
 	// byte-identical with and without -trace/-spans.
@@ -104,6 +113,20 @@ func TestEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(string(out), "no drift") {
 			t.Errorf("identical runs did not report zero drift:\n%s", out)
+		}
+	})
+
+	t.Run("diff-lockstep-identical", func(t *testing.T) {
+		// The acceptance check for the lockstep kernel: a grouped run and a
+		// -lockstep=false run must show zero drift (the flag is ignored in
+		// manifest comparison precisely because outcomes are bit-identical).
+		cmd := exec.Command(xptraceBin, "diff", traceA, traceScalar)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("diff lockstep vs scalar failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "no drift") {
+			t.Errorf("lockstep vs scalar runs did not report zero drift:\n%s", out)
 		}
 	})
 

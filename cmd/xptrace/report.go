@@ -233,4 +233,12 @@ func printSummary(t *trace) {
 	}
 	fmt.Printf("\nRun summary: wall %.2fs, %d evaluations (%d hits, %d deduped, %d misses), %d cache entries\n",
 		float64(s.WallNs)/1e9, s.Requests, s.Hits, s.Deduped, s.Misses, s.CacheEntries)
+	if s.LockstepGroups > 0 || s.ScalarFallbacks > 0 {
+		avg := 0.0
+		if s.LockstepGroups > 0 {
+			avg = float64(s.LockstepLanes) / float64(s.LockstepGroups)
+		}
+		fmt.Printf("Lockstep: %d groups covering %d misses (avg size %.1f), %d scalar fallbacks\n",
+			s.LockstepGroups, s.LockstepLanes, avg, s.ScalarFallbacks)
+	}
 }

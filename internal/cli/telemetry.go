@@ -258,13 +258,16 @@ func (t *Telemetry) Close() error {
 		t.sess.SetEvalObserver(nil)
 		s := t.sess.Stats()
 		t.sink.Emit(telemetry.RunSummary{
-			WallNs:       time.Since(t.start).Nanoseconds(),
-			Requests:     s.Requests,
-			Hits:         s.Hits,
-			Deduped:      s.Deduped,
-			Misses:       s.Misses,
-			Evictions:    s.Evictions,
-			CacheEntries: s.CacheEntries,
+			WallNs:          time.Since(t.start).Nanoseconds(),
+			Requests:        s.Requests,
+			Hits:            s.Hits,
+			Deduped:         s.Deduped,
+			Misses:          s.Misses,
+			Evictions:       s.Evictions,
+			CacheEntries:    s.CacheEntries,
+			LockstepGroups:  s.LockstepGroups,
+			LockstepLanes:   s.LockstepLanes,
+			ScalarFallbacks: s.ScalarFallbacks,
 		})
 		n := t.sink.Events()
 		if err := t.sink.Close(); err != nil {

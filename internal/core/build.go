@@ -25,13 +25,15 @@ type CellFunc func(workload, arch string, budget int, ipt float64)
 // BuildMatrix evaluates every profile on every configuration for n
 // instructions each on eng and returns the resulting cross-configuration
 // IPT matrix. configs[i] must be the customized architecture of
-// profiles[i]. The len(profiles)² evaluations run in parallel on the
-// engine's pool, so cells already simulated by the exploration phase (and
-// the workload instruction streams) are reused rather than recomputed.
-// Cancelling ctx stops dispatching between cells and returns the
-// context's error; completed cells are observable through the engine's
-// cache and any CellFunc, but no partial Matrix is returned (a Matrix
-// with holes would silently corrupt every downstream figure of merit).
+// profiles[i]. Each row — one workload against every configuration — is a
+// single batch evaluation: cells that miss the engine's cache run as one
+// lockstep group over one shared replay of the workload's stream, and
+// cells already simulated by the exploration phase are served from cache.
+// Rows run in parallel on the engine's pool. Cancelling ctx stops
+// dispatching between rows and returns the context's error; completed
+// cells are observable through the engine's cache and any CellFunc, but
+// no partial Matrix is returned (a Matrix with holes would silently
+// corrupt every downstream figure of merit).
 func BuildMatrix(ctx context.Context, eng *evalengine.Engine, profiles []workload.Profile, configs []sim.Config, n int, t tech.Params) (*Matrix, error) {
 	return BuildMatrixObserved(ctx, eng, profiles, configs, n, t, nil)
 }
@@ -51,21 +53,25 @@ func BuildMatrixObserved(ctx context.Context, eng *evalengine.Engine, profiles [
 		ipt[i] = make([]float64, len(configs))
 	}
 
-	if err := eng.Pool().MapCtx(ctx, len(profiles)*len(configs), func(cctx context.Context, k int) error {
-		w, a := k/len(configs), k%len(configs)
+	if err := eng.Pool().MapCtx(ctx, len(profiles), func(cctx context.Context, w int) error {
+		// One cell span per row; its arg is the row width. The per-cell
+		// split lives inside the batch (hits vs the lockstep group).
 		h := tracing.FromContext(cctx)
-		sp := h.Begin(tracing.KindCell, profiles[w].Name, int64(a))
+		sp := h.Begin(tracing.KindCell, profiles[w].Name, int64(len(configs)))
 		if sp.ID != 0 {
 			cctx = tracing.ChildContext(cctx, sp)
 		}
-		ev, err := eng.Evaluate(cctx, configs[a], profiles[w], n, t, power.ObjIPT)
+		row := make([]evalengine.Eval, len(configs))
+		err := eng.EvaluateBatch(cctx, row, configs, profiles[w], n, t, power.ObjIPT)
 		h.End(sp)
 		if err != nil {
-			return fmt.Errorf("core: %s on %s's arch: %w", profiles[w].Name, names[a], err)
+			return fmt.Errorf("core: %s row: %w", profiles[w].Name, err)
 		}
-		ipt[w][a] = ev.Result.IPT()
-		if cell != nil {
-			cell(profiles[w].Name, names[a], n, ipt[w][a])
+		for a := range configs {
+			ipt[w][a] = row[a].Result.IPT()
+			if cell != nil {
+				cell(profiles[w].Name, names[a], n, ipt[w][a])
+			}
 		}
 		return nil
 	}); err != nil {

@@ -1,0 +1,214 @@
+// Batch evaluation. Exploration rarely asks for one design point at a
+// time: an annealing neighborhood is K one-knob moves around the current
+// point, a characterization-matrix row is every customized configuration
+// against one profile — always several configurations against ONE
+// (workload, budget) pair. EvaluateBatch is the engine face of that shape:
+// members that hit the memo cache or join in-flight simulations are served
+// exactly as Evaluate serves them, and the members that actually miss are
+// run as one lockstep group over one shared instruction stream
+// (sim.MultiRunner), so the stream is fetched and transposed once per
+// group instead of once per configuration. Results are bit-identical to
+// per-member Evaluate calls; only the wall time changes.
+
+package evalengine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/tracing"
+	"xpscalar/internal/workload"
+)
+
+// batchClaim is one member's memo-cache classification inside a batch.
+type batchClaim struct {
+	entry   *memoEntry
+	outcome string // "hit", "dedup", or "miss" (this call owns the entry)
+}
+
+// EvaluateBatch evaluates every configuration in cfgs against one
+// (workload, budget, technology, objective) tuple — the grouping callers
+// already have in hand — writing dst[i] for cfgs[i]. Cache semantics are
+// identical to len(cfgs) Evaluate calls: each member counts as a request
+// and is served as a hit, an in-flight join, or a miss, and every miss is
+// memoized (errors included) for future callers. What changes is how the
+// misses run: two or more valid missing configurations become one lockstep
+// group sharing a single replay of the workload's stream; a lone miss, an
+// invalid configuration, or a group that fails at the lockstep layer runs
+// scalar, so grouping can never change an answer — a lockstep error
+// degrades to per-member scalar simulation rather than failing the batch.
+//
+// The return is the lowest-index member error (nil when every member
+// succeeded); dst entries for failed members are zero. Cancellation
+// mirrors Evaluate: ctx is checked on entry and while waiting on
+// simulations owned by other goroutines, and a context error is never
+// memoized. Misses claimed by this call always run to completion.
+func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) error {
+	k := len(cfgs)
+	if len(dst) != k {
+		return fmt.Errorf("evalengine: batch: %d results for %d configs", len(dst), k)
+	}
+	if k == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	obs := e.obs.Load()
+	h := tracing.FromContext(ctx)
+	sp := h.Begin(tracing.KindEvalBatch, p.Name, int64(k))
+	hb := h.WithParent(sp)
+
+	// Classify every member against the memo cache. Duplicate
+	// configurations within the batch resolve naturally: the first claims
+	// the miss, the rest join it as dedups and are served once the owned
+	// simulations below have closed their entries.
+	e.requests.Add(uint64(k))
+	claims := make([]batchClaim, k)
+	var lanes, scalars []int // miss indices: lockstep-eligible vs not
+	for i := range cfgs {
+		me, outcome := e.claim(Fingerprint(cfgs[i], p, budget, t, obj))
+		claims[i] = batchClaim{entry: me, outcome: outcome}
+		switch outcome {
+		case "hit":
+			e.hits.Add(1)
+		case "dedup":
+			e.deduped.Add(1)
+		case "miss":
+			e.misses.Add(1)
+			if !e.lockstepOff && cfgs[i].Validate(t) == nil {
+				lanes = append(lanes, i)
+			} else {
+				scalars = append(scalars, i)
+			}
+		}
+	}
+
+	// Run the owned misses. Lockstep needs at least two lanes to amortize
+	// anything; a singleton goes through the scalar path unchanged.
+	if len(lanes) == 1 {
+		scalars = append(scalars, lanes[0])
+		lanes = nil
+	}
+	if len(lanes) >= 2 {
+		if done := e.runLockstep(hb, lanes, claims, cfgs, p, budget, t, obj, obs); !done {
+			scalars = append(scalars, lanes...)
+		}
+	}
+	hist := e.simHist.Load()
+	for _, i := range scalars {
+		me := claims[i].entry
+		var begin time.Time
+		if hist != nil || obs != nil {
+			begin = time.Now()
+		}
+		me.val, me.err = e.compute(hb, cfgs[i], p, budget, t, obj)
+		close(me.ready)
+		if hist != nil || obs != nil {
+			wall := time.Since(begin)
+			if hist != nil {
+				hist.Observe(wall.Seconds())
+			}
+			if obs != nil {
+				(*obs).ObserveEval(record(p.Name, budget, "miss", wall.Nanoseconds(), me.val, me.err))
+			}
+		}
+	}
+
+	// Collect. Every entry owned by this call is closed by now, so waiting
+	// here can only block on other goroutines' in-flight simulations —
+	// which is the one place cancellation may interrupt a batch.
+	var firstErr error
+	for i := range claims {
+		me := claims[i].entry
+		if claims[i].outcome == "dedup" {
+			select {
+			case <-me.ready:
+			case <-ctx.Done():
+				h.End(sp)
+				return ctx.Err()
+			}
+		}
+		if claims[i].outcome != "miss" && obs != nil {
+			(*obs).ObserveEval(record(p.Name, budget, claims[i].outcome, 0, me.val, me.err))
+		}
+		if me.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("evalengine: batch member %d: %w", i, me.err)
+			}
+			continue
+		}
+		dst[i] = me.val
+	}
+	h.End(sp)
+	return firstErr
+}
+
+// runLockstep simulates the miss group in lockstep and memoizes each
+// lane's result. It reports false — with every lane's entry still open and
+// unwritten — when the lockstep layer rejects or fails the group, so the
+// caller can degrade those lanes to scalar simulation.
+func (e *Engine) runLockstep(h tracing.Handle, lanes []int, claims []batchClaim, cfgs []sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective, obs *EvalObserver) bool {
+	ssp := h.Begin(tracing.KindSource, p.Name, int64(budget))
+	src, err := e.traces.source(p, budget)
+	h.End(ssp)
+	if err != nil {
+		e.scalarFallbacks.Add(1)
+		return false
+	}
+	group := make([]sim.Config, len(lanes))
+	results := make([]sim.Result, len(lanes))
+	for j, i := range lanes {
+		group[j] = cfgs[i]
+	}
+	hist := e.simHist.Load()
+	var begin time.Time
+	if hist != nil || obs != nil {
+		begin = time.Now()
+	}
+	mr := e.multis.Get().(*sim.MultiRunner)
+	msp := h.Begin(tracing.KindSimulate, p.Name, int64(budget)*int64(len(lanes)))
+	err = mr.RunSource(results, group, src, p.Name, budget, t)
+	h.End(msp)
+	e.multis.Put(mr)
+	if err != nil {
+		// The stream may have partially advanced; the scalar fallback
+		// re-sources each member from the trace store, so nothing here
+		// depends on src's position.
+		e.scalarFallbacks.Add(1)
+		return false
+	}
+	e.lockstepGroups.Add(1)
+	e.lockstepLanes.Add(uint64(len(lanes)))
+	if gh := e.groupHist.Load(); gh != nil {
+		gh.Observe(float64(len(lanes)))
+	}
+	// The group's wall time is amortized evenly across its lanes: each
+	// lane's observation answers "what did this evaluation cost?", and
+	// under lockstep that is the shared run divided by the lanes riding it.
+	var wallPer time.Duration
+	if hist != nil || obs != nil {
+		wallPer = time.Since(begin) / time.Duration(len(lanes))
+	}
+	for j, i := range lanes {
+		me := claims[i].entry
+		score, serr := power.Score(results[j], obj, t)
+		if serr != nil {
+			me.err = serr
+		} else {
+			me.val = Eval{Result: results[j], Score: score}
+		}
+		close(me.ready)
+		if hist != nil {
+			hist.Observe(wallPer.Seconds())
+		}
+		if obs != nil {
+			(*obs).ObserveEval(record(p.Name, budget, "miss", wallPer.Nanoseconds(), me.val, me.err))
+		}
+	}
+	return true
+}

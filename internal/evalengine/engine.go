@@ -53,6 +53,11 @@ type Options struct {
 	TraceCapInstr int
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
+	// DisableLockstep makes EvaluateBatch run every cache miss as an
+	// independent scalar simulation instead of grouping misses into one
+	// lockstep run. Results are bit-identical either way; the switch exists
+	// for A/B measurement and as an escape hatch.
+	DisableLockstep bool
 }
 
 const (
@@ -70,8 +75,14 @@ type Engine struct {
 
 	// runners pools *sim.Runner scratch state (pipeline arenas, predictor
 	// tables, cache arrays) across uncached simulations, so steady-state
-	// evaluation allocates nothing per run.
+	// evaluation allocates nothing per run. multis pools the equivalent
+	// lockstep state — per-lane arenas plus the shared delivery block —
+	// across EvaluateBatch calls.
 	runners sync.Pool
+	multis  sync.Pool
+
+	// lockstepOff mirrors Options.DisableLockstep.
+	lockstepOff bool
 
 	requests atomic.Uint64
 	hits     atomic.Uint64
@@ -79,12 +90,19 @@ type Engine struct {
 	deduped  atomic.Uint64
 	evicted  atomic.Uint64
 
+	// Lockstep accounting: groups run, lanes they carried, and groups that
+	// fell back to scalar simulation after a lockstep error.
+	lockstepGroups  atomic.Uint64
+	lockstepLanes   atomic.Uint64
+	scalarFallbacks atomic.Uint64
+
 	// Telemetry hooks, both nil by default: a latency histogram fed the
 	// wall time of every uncached simulation, and a per-request observer.
 	// Loaded once per Evaluate; the nil fast path costs two atomic loads
 	// and zero allocations.
-	simHist atomic.Pointer[telemetry.Histogram]
-	obs     atomic.Pointer[EvalObserver]
+	simHist   atomic.Pointer[telemetry.Histogram]
+	groupHist atomic.Pointer[telemetry.Histogram]
+	obs       atomic.Pointer[EvalObserver]
 }
 
 // EvalRecord describes one Evaluate call for an observer: how the request
@@ -158,10 +176,20 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
 		func() float64 { return float64(e.pool.jobs.Load()) })
 	reg.Func("xpscalar_pool_active_jobs", "jobs currently executing on the worker pool", "gauge",
 		func() float64 { return float64(e.pool.active.Load()) })
+	reg.Func("xpscalar_lockstep_groups_total", "lockstep simulation groups run", "counter",
+		func() float64 { return float64(e.lockstepGroups.Load()) })
+	reg.Func("xpscalar_lockstep_lanes_total", "simulations carried by lockstep groups", "counter",
+		func() float64 { return float64(e.lockstepLanes.Load()) })
+	reg.Func("xpscalar_lockstep_scalar_fallbacks_total", "lockstep groups degraded to scalar simulations", "counter",
+		func() float64 { return float64(e.scalarFallbacks.Load()) })
 	// Bounds from 100µs to ~1.6s: short-budget evaluations land in the low
 	// buckets, refinement-budget ones further up.
 	e.simHist.Store(reg.Histogram("xpscalar_sim_seconds",
 		"wall time of uncached simulations", telemetry.ExpBuckets(1e-4, 2, 15)))
+	// Powers of two from 1 to 128 lanes: annealing neighborhoods and matrix
+	// rows land mid-range; a mass at 1 means grouping is not engaging.
+	e.groupHist.Store(reg.Histogram("xpscalar_lockstep_group_size",
+		"lanes per lockstep simulation group", telemetry.ExpBuckets(1, 2, 8)))
 }
 
 // New constructs an engine with the given options.
@@ -179,11 +207,13 @@ func New(o Options) *Engine {
 		o.TraceCapInstr = defaultTraceCapInstr
 	}
 	e := &Engine{
-		shards: make([]cacheShard, o.Shards),
-		traces: newTraceStore(o.TraceCapInstr),
-		pool:   NewPool(o.Workers),
+		shards:      make([]cacheShard, o.Shards),
+		traces:      newTraceStore(o.TraceCapInstr),
+		pool:        NewPool(o.Workers),
+		lockstepOff: o.DisableLockstep,
 	}
 	e.runners.New = func() any { return new(sim.Runner) }
+	e.multis.New = func() any { return new(sim.MultiRunner) }
 	per := o.CacheEntries / o.Shards
 	if per < 1 {
 		per = 1
@@ -237,6 +267,37 @@ func (e *Engine) shard(key string) *cacheShard {
 	return &e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
+// claim looks up or inserts the memo entry for key and classifies the
+// request: "hit" (a completed entry existed), "dedup" (an in-flight entry
+// existed; wait on its ready channel), or "miss" (the entry was inserted
+// here — the caller owns computing val/err and closing ready, and must do
+// so on every path or waiters hang forever).
+func (e *Engine) claim(key string) (*memoEntry, string) {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.order.MoveToFront(el)
+		me := el.Value.(*memoEntry)
+		sh.mu.Unlock()
+		select {
+		case <-me.ready:
+			return me, "hit"
+		default:
+			return me, "dedup"
+		}
+	}
+	me := &memoEntry{key: key, ready: make(chan struct{})}
+	sh.entries[key] = sh.order.PushFront(me)
+	for sh.order.Len() > sh.cap {
+		back := sh.order.Back()
+		delete(sh.entries, back.Value.(*memoEntry).key)
+		sh.order.Remove(back)
+		e.evicted.Add(1)
+	}
+	sh.mu.Unlock()
+	return me, "miss"
+}
+
 // Evaluate returns the simulation result and objective score for the
 // request, serving it from the memo cache when the point has been
 // evaluated before and joining an in-flight computation when another
@@ -262,21 +323,13 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	h := tracing.FromContext(ctx)
 	sp := h.Begin(tracing.KindEvalMiss, p.Name, int64(budget))
 	key := Fingerprint(cfg, p, budget, t, obj)
-	sh := e.shard(key)
-
-	sh.mu.Lock()
-	if el, ok := sh.entries[key]; ok {
-		sh.order.MoveToFront(el)
-		me := el.Value.(*memoEntry)
-		sh.mu.Unlock()
-		outcome := "hit"
-		sp.Kind = tracing.KindEvalHit
-		select {
-		case <-me.ready:
+	me, outcome := e.claim(key)
+	if outcome != "miss" {
+		if outcome == "hit" {
 			e.hits.Add(1)
-		default:
+			sp.Kind = tracing.KindEvalHit
+		} else {
 			e.deduped.Add(1)
-			outcome = "dedup"
 			sp.Kind = tracing.KindEvalDedup
 			select {
 			case <-me.ready:
@@ -294,15 +347,6 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 		h.End(sp)
 		return me.val, me.err
 	}
-	me := &memoEntry{key: key, ready: make(chan struct{})}
-	sh.entries[key] = sh.order.PushFront(me)
-	for sh.order.Len() > sh.cap {
-		back := sh.order.Back()
-		delete(sh.entries, back.Value.(*memoEntry).key)
-		sh.order.Remove(back)
-		e.evicted.Add(1)
-	}
-	sh.mu.Unlock()
 
 	e.misses.Add(1)
 	hist := e.simHist.Load()
@@ -399,6 +443,11 @@ type Stats struct {
 	// batched fetch path shows BatchInstr/BatchCalls near the pipeline's
 	// slab size and ScalarInstr near zero.
 	TraceBatchCalls, TraceBatchInstr, TraceScalarInstr uint64
+	// LockstepGroups counts lockstep simulation groups EvaluateBatch ran;
+	// LockstepLanes the simulations those groups carried (Misses ≥
+	// LockstepLanes; the rest ran scalar); ScalarFallbacks the groups that
+	// hit a lockstep error and degraded to per-member scalar runs.
+	LockstepGroups, LockstepLanes, ScalarFallbacks uint64
 }
 
 // Saved is the number of simulations avoided: requests answered without
@@ -414,9 +463,10 @@ func (s Stats) HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses, %d batch-served (%d calls), %d scalar-served",
+	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses, %d batch-served (%d calls), %d scalar-served; lockstep: %d groups, %d lanes, %d fallbacks",
 		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions, s.CacheEntries,
-		s.TraceInstr, s.TraceReplays, s.TraceBypasses, s.TraceBatchInstr, s.TraceBatchCalls, s.TraceScalarInstr)
+		s.TraceInstr, s.TraceReplays, s.TraceBypasses, s.TraceBatchInstr, s.TraceBatchCalls, s.TraceScalarInstr,
+		s.LockstepGroups, s.LockstepLanes, s.ScalarFallbacks)
 }
 
 // Stats returns a snapshot of the counters.
@@ -435,6 +485,9 @@ func (e *Engine) Stats() Stats {
 		TraceBatchCalls:  e.traces.batchCalls.Load(),
 		TraceBatchInstr:  e.traces.batchInstr.Load(),
 		TraceScalarInstr: e.traces.scalarInstr.Load(),
+		LockstepGroups:   e.lockstepGroups.Load(),
+		LockstepLanes:    e.lockstepLanes.Load(),
+		ScalarFallbacks:  e.scalarFallbacks.Load(),
 	}
 }
 
@@ -453,4 +506,7 @@ func (e *Engine) ResetStats() {
 	e.traces.batchCalls.Store(0)
 	e.traces.batchInstr.Store(0)
 	e.traces.scalarInstr.Store(0)
+	e.lockstepGroups.Store(0)
+	e.lockstepLanes.Store(0)
+	e.scalarFallbacks.Store(0)
 }

@@ -184,6 +184,53 @@ func TestEnableTelemetryExportsCounters(t *testing.T) {
 	}
 }
 
+// Lockstep batches feed the group-size histogram and counters, and every
+// lane reaches the observer as a miss carrying the group's amortized wall
+// time.
+func TestEnableTelemetryLockstepMetrics(t *testing.T) {
+	tp := tech.Default()
+	cs := batchConfigs(t, tp, 4)
+	p := testProfile(19)
+	eng := New(Options{})
+	reg := telemetry.NewRegistry()
+	eng.EnableTelemetry(reg)
+	rec := &recordingEvalObserver{}
+	eng.SetEvalObserver(rec)
+
+	dst := make([]Eval, len(cs))
+	if err := eng.EvaluateBatch(context.Background(), dst, cs, p, 4000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+
+	got := rec.outcomes()
+	if got["miss"] != 4 {
+		t.Fatalf("outcomes = %v, want 4 misses", got)
+	}
+	for _, r := range rec.records {
+		if r.WallNs <= 0 {
+			t.Errorf("lockstep miss record has wall time %d", r.WallNs)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"xpscalar_lockstep_groups_total 1",
+		"xpscalar_lockstep_lanes_total 4",
+		"xpscalar_lockstep_scalar_fallbacks_total 0",
+		"xpscalar_lockstep_group_size_count 1",
+		"xpscalar_lockstep_group_size_sum 4",
+		"xpscalar_sim_seconds_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
 // The no-op default must not allocate on the hot path: the observer and
 // histogram loads are pointer checks only.
 func TestNoObserverZeroAllocOverhead(t *testing.T) {

@@ -54,6 +54,16 @@ type Options struct {
 	// the paper's raw-performance IPT; the power-aware objectives
 	// implement the combined performance/power/area extension of §3.
 	Objective power.Objective
+	// NeighborhoodK, when >= 2, makes each annealing step propose K
+	// candidate moves and evaluate the feasible ones as ONE batch — the
+	// engine runs the cache misses among them as a lockstep group over a
+	// shared replay of the workload's stream — then takes the best-scoring
+	// candidate as the step's proposal for the usual Metropolis test.
+	// Values <= 1 preserve the classic single-proposal walk unchanged.
+	// Wider neighborhoods consume more randomness per step, so K changes
+	// the search trajectory (deliberately: best-of-K proposals climb
+	// faster); it never changes what any individual evaluation returns.
+	NeighborhoodK int
 	// FixedClockNs, when non-zero, pins the clock period to the given
 	// value, reproducing the restricted exploration style of prior work
 	// the paper criticizes (§2.3: tools that "consider a fixed clock
@@ -401,6 +411,14 @@ func chainBody(ctx context.Context, p workload.Profile, opt Options, seed int64,
 	out.Evaluations++
 	bestPt, bestScore := cur, curScore
 
+	// Scratch for the best-of-K proposal mode, reused across iterations.
+	var (
+		nbPts   []point
+		nbMoves []string
+		nbCfgs  []sim.Config
+		nbEvals []evalengine.Eval
+	)
+
 	temp := opt.InitTemp * curScore
 	for i := 1; i <= opt.Iterations; i++ {
 		// The per-iteration cancellation point of the annealing inner
@@ -420,16 +438,69 @@ func chainBody(ctx context.Context, p workload.Profile, opt Options, seed int64,
 		}
 		var cand point
 		var move string
-		if rng.Intn(4) == 0 {
-			cand, move = geometryMove(cur, rng, t)
+		var candScore float64
+		feasible := false
+		if k := opt.NeighborhoodK; k >= 2 {
+			// Best-of-K proposal: draw K moves, batch-evaluate the
+			// feasible ones (the engine runs the cache misses among them
+			// in lockstep over one shared stream), keep the top scorer.
+			nbPts, nbMoves, nbCfgs = nbPts[:0], nbMoves[:0], nbCfgs[:0]
+			for j := 0; j < k; j++ {
+				var cp point
+				var mv string
+				if rng.Intn(4) == 0 {
+					cp, mv = geometryMove(cur, rng, t)
+				} else {
+					cp, mv = neighbor(cur, rng)
+				}
+				if opt.FixedClockNs > 0 {
+					cp.clock = opt.FixedClockNs
+				}
+				move = mv // last draw names an all-infeasible step
+				if cfg, fits := cp.fit(t); fits {
+					nbPts = append(nbPts, cp)
+					nbMoves = append(nbMoves, mv)
+					nbCfgs = append(nbCfgs, cfg)
+				}
+			}
+			if len(nbCfgs) > 0 {
+				if cap(nbEvals) < len(nbCfgs) {
+					nbEvals = make([]evalengine.Eval, len(nbCfgs))
+				}
+				evals := nbEvals[:len(nbCfgs)]
+				if err := opt.Engine.EvaluateBatch(ictx, evals, nbCfgs, p, budgetAt(i), t, opt.Objective); err != nil {
+					h.End(ssp)
+					return Outcome{}, err
+				}
+				out.Evaluations += len(nbCfgs)
+				bi := 0
+				for j := 1; j < len(evals); j++ {
+					if evals[j].Score > evals[bi].Score {
+						bi = j
+					}
+				}
+				cand, move, candScore, feasible = nbPts[bi], nbMoves[bi], evals[bi].Score, true
+			}
 		} else {
-			cand, move = neighbor(cur, rng)
+			if rng.Intn(4) == 0 {
+				cand, move = geometryMove(cur, rng, t)
+			} else {
+				cand, move = neighbor(cur, rng)
+			}
+			if opt.FixedClockNs > 0 {
+				cand.clock = opt.FixedClockNs
+			}
+			if candCfg, ok := cand.fit(t); ok {
+				cs, _, err := evaluate(ictx, candCfg, i)
+				if err != nil {
+					h.End(ssp)
+					return Outcome{}, err
+				}
+				out.Evaluations++
+				candScore, feasible = cs, true
+			}
 		}
-		if opt.FixedClockNs > 0 {
-			cand.clock = opt.FixedClockNs
-		}
-		candCfg, ok := cand.fit(t)
-		if !ok {
+		if !feasible {
 			observeStep(opt.Observer, StepEvent{
 				Workload: p.Name, Chain: chain, Iteration: i,
 				TotalIterations: opt.Iterations, Move: move, Temperature: temp,
@@ -439,12 +510,6 @@ func chainBody(ctx context.Context, p workload.Profile, opt Options, seed int64,
 			h.End(ssp)
 			continue
 		}
-		candScore, _, err := evaluate(ictx, candCfg, i)
-		if err != nil {
-			h.End(ssp)
-			return Outcome{}, err
-		}
-		out.Evaluations++
 
 		accepted := false
 		if candScore >= curScore || rng.Float64() < math.Exp((candScore-curScore)/math.Max(temp, 1e-9)) {
@@ -538,28 +603,37 @@ func Suite(ctx context.Context, profiles []workload.Profile, opt Options) ([]Out
 }
 
 // crossSeed evaluates each workload on every other outcome's configuration
-// and adopts any configuration that beats its own.
+// and adopts any configuration that beats its own. Each workload's row of
+// donor configurations is one batch evaluation, so the donors that miss
+// the cache simulate as a lockstep group over one replay of that
+// workload's stream; rows run in parallel on the engine's pool.
 func crossSeed(ctx context.Context, profiles []workload.Profile, outs []Outcome, opt Options) error {
-	type job struct{ wi, ci int }
-	jobs := make([]job, 0, len(profiles)*len(outs))
-	for wi := range profiles {
+	n := len(outs)
+	scores := make([][]float64, len(profiles))
+	raws := make([][]float64, len(profiles))
+	eng := opt.Engine
+	if err := eng.Pool().MapCtx(ctx, len(profiles), func(jctx context.Context, wi int) error {
+		donors := make([]sim.Config, 0, n-1)
+		idx := make([]int, 0, n-1)
 		for ci := range outs {
-			if wi != ci {
-				jobs = append(jobs, job{wi, ci})
+			if ci != wi {
+				donors = append(donors, outs[ci].Best)
+				idx = append(idx, ci)
 			}
 		}
-	}
-	ipts := make([]float64, len(jobs))
-	raws := make([]float64, len(jobs))
-	eng := opt.Engine
-	if err := eng.Pool().MapCtx(ctx, len(jobs), func(jctx context.Context, ji int) error {
-		j := jobs[ji]
-		ev, err := eng.Evaluate(jctx, outs[j.ci].Best, profiles[j.wi], opt.LongBudget, opt.Tech, opt.Objective)
-		if err != nil {
+		if len(donors) == 0 {
+			return nil
+		}
+		row := make([]evalengine.Eval, len(donors))
+		if err := eng.EvaluateBatch(jctx, row, donors, profiles[wi], opt.LongBudget, opt.Tech, opt.Objective); err != nil {
 			return err
 		}
-		ipts[ji] = ev.Score
-		raws[ji] = ev.Result.IPT()
+		scores[wi] = make([]float64, n)
+		raws[wi] = make([]float64, n)
+		for j, ci := range idx {
+			scores[wi][ci] = row[j].Score
+			raws[wi][ci] = row[j].Result.IPT()
+		}
 		return nil
 	}); err != nil {
 		return err
@@ -572,9 +646,14 @@ func crossSeed(ctx context.Context, profiles []workload.Profile, outs []Outcome,
 		raw float64
 	}
 	var adoptions []adoption
-	for ji, j := range jobs {
-		if ipts[ji] > outs[j.wi].BestScore {
-			adoptions = append(adoptions, adoption{j.wi, ipts[ji], j.ci, raws[ji]})
+	for wi := range profiles {
+		if scores[wi] == nil {
+			continue
+		}
+		for ci := range outs {
+			if wi != ci && scores[wi][ci] > outs[wi].BestScore {
+				adoptions = append(adoptions, adoption{wi, scores[wi][ci], ci, raws[wi][ci]})
+			}
 		}
 	}
 	sort.Slice(adoptions, func(a, b int) bool {

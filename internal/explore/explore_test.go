@@ -276,6 +276,48 @@ func TestPowerObjectiveChangesTheOptimum(t *testing.T) {
 	}
 }
 
+func TestNeighborhoodKEngagesLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealing run")
+	}
+	// A widened neighborhood must batch its candidates: the engine sees
+	// lockstep groups, the search stays deterministic, and the outcome is
+	// still a valid configuration scored consistently.
+	prof, _ := workload.ByName("twolf")
+	run := func() (Outcome, evalengine.Stats) {
+		eng := evalengine.New(evalengine.Options{})
+		opt := tinyOptions(17)
+		opt.Engine = eng
+		opt.NeighborhoodK = 3
+		out, err := Workload(context.Background(), prof, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, eng.Stats()
+	}
+	a, sa := run()
+	b, _ := run()
+
+	if sa.LockstepGroups == 0 {
+		t.Errorf("NeighborhoodK=3 ran no lockstep groups: %s", sa)
+	}
+	if sa.LockstepLanes < 2*sa.LockstepGroups {
+		t.Errorf("lockstep groups average under 2 lanes: %s", sa)
+	}
+	if a.BestIPT != b.BestIPT || a.Best.String() != b.Best.String() {
+		t.Errorf("neighborhood search not deterministic:\n%v %f\n%v %f", a.Best, a.BestIPT, b.Best, b.BestIPT)
+	}
+	tp := tech.Default()
+	if err := a.Best.Validate(tp); err != nil {
+		t.Errorf("best config invalid: %v", err)
+	}
+	// A best-of-3 proposal evaluates (up to) 3 points per step; the outcome
+	// must account for them.
+	if a.Evaluations <= tinyOptions(17).Iterations*2 {
+		t.Errorf("evaluations %d too low for a widened neighborhood", a.Evaluations)
+	}
+}
+
 func TestRandomConfigsBounds(t *testing.T) {
 	tp := tech.Default()
 	if got := RandomConfigs(0, 1, tp); len(got) != 0 {

@@ -1,0 +1,240 @@
+package pipeline
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xpscalar/internal/bpred"
+	"xpscalar/internal/cache"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// laneParams returns k distinct configurations — the shape of an annealing
+// neighborhood, each lane one knob away from the base — so lockstep runs
+// exercise genuinely divergent machines over the shared stream.
+func laneParams(k int) []Params {
+	ps := make([]Params, k)
+	for i := range ps {
+		p := baseParams()
+		switch i % 8 {
+		case 1:
+			p.Width = 2
+		case 2:
+			p.IQSize = 16
+		case 3:
+			p.WakeupExtra = 2
+			p.SchedStages = 3
+		case 4:
+			p.ROBSize = 32
+			p.IQSize = 24
+			p.LSQSize = 24
+		case 5:
+			p.LatL2 = 30
+			p.LatMem = 300
+		case 6:
+			p.MemPorts = 1
+		case 7:
+			p.FrontEndStages = 11
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// lockstepFixtures builds per-lane predictors and hierarchies matching the
+// scalar test fixture in run().
+func lockstepFixtures(t *testing.T, k int) ([]bpred.Predictor, []*cache.Hierarchy) {
+	t.Helper()
+	preds := make([]bpred.Predictor, k)
+	mems := make([]*cache.Hierarchy, k)
+	for i := 0; i < k; i++ {
+		pred, err := bpred.New(bpred.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := cache.NewHierarchy(
+			timing.CacheGeom{Sets: 512, Assoc: 2, BlockBytes: 32},
+			timing.CacheGeom{Sets: 2048, Assoc: 4, BlockBytes: 128},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i], mems[i] = pred, mem
+	}
+	return preds, mems
+}
+
+// TestLockstepMatchesScalar is the lockstep kernel's core contract: N
+// lanes over one shared stream produce, field for field, the results of N
+// scalar runs over the same stream — for generator and trace-replay
+// sources, and for instruction counts that end mid-slab.
+func TestLockstepMatchesScalar(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	for _, k := range []int{1, 2, 8} {
+		for _, n := range []int{200, 1300, 20000} {
+			ps := laneParams(k)
+			preds, mems := lockstepFixtures(t, k)
+
+			// Generator source: the lockstep group shares one generator;
+			// each scalar reference run gets a fresh one, which replays
+			// the identical deterministic stream.
+			gen, err := workload.NewGenerator(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m MultiCore
+			got := make([]Result, k)
+			if err := m.Run(got, ps, gen, preds, mems, n); err != nil {
+				t.Fatalf("k=%d n=%d: lockstep: %v", k, n, err)
+			}
+			for i := 0; i < k; i++ {
+				want := run(t, ps[i], prof, n)
+				if got[i] != want {
+					t.Errorf("k=%d n=%d lane %d (generator): lockstep %+v != scalar %+v",
+						k, n, i, got[i], want)
+				}
+			}
+
+			// Trace-replay source: same contract, bulk-copy delivery.
+			src, err := workload.NewGenerator(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := workload.NewTraceReaderFrom(src, n)
+			preds2, mems2 := lockstepFixtures(t, k)
+			got2 := make([]Result, k)
+			if err := m.Run(got2, ps, tr, preds2, mems2, n); err != nil {
+				t.Fatalf("k=%d n=%d: lockstep trace: %v", k, n, err)
+			}
+			for i := 0; i < k; i++ {
+				if got2[i] != got[i] {
+					t.Errorf("k=%d n=%d lane %d (trace): lockstep %+v != generator lockstep %+v",
+						k, n, i, got2[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepPostResetReplay reuses one MultiCore across runs: a second
+// run over a Reset trace must be bit-identical to the first, proving no
+// state leaks through the reused arenas.
+func TestLockstepPostResetReplay(t *testing.T) {
+	const k, n = 4, 7000
+	prof, _ := workload.ByName("gzip")
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.NewTraceReaderFrom(gen, n)
+	ps := laneParams(k)
+
+	var m MultiCore
+	first := make([]Result, k)
+	preds, mems := lockstepFixtures(t, k)
+	if err := m.Run(first, ps, tr, preds, mems, n); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset()
+	second := make([]Result, k)
+	preds2, mems2 := lockstepFixtures(t, k)
+	if err := m.Run(second, ps, tr, preds2, mems2, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("lane %d: first %+v != replay %+v", i, first[i], second[i])
+		}
+	}
+
+	// Shrinking the group reuses a prefix of the lanes; results must
+	// still match the wider run lane for lane.
+	tr.Reset()
+	third := make([]Result, 2)
+	preds3, mems3 := lockstepFixtures(t, 2)
+	if err := m.Run(third, ps[:2], tr, preds3, mems3, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range third {
+		if third[i] != first[i] {
+			t.Errorf("lane %d after shrink: %+v != %+v", i, third[i], first[i])
+		}
+	}
+}
+
+// TestLockstepConcurrentGroups runs independent MultiCores in parallel —
+// under -race this proves lockstep groups share no hidden state.
+func TestLockstepConcurrentGroups(t *testing.T) {
+	prof, _ := workload.ByName("mcf")
+	const k, n = 3, 5000
+	ps := laneParams(k)
+	ref := make([]Result, k)
+	{
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, mems := lockstepFixtures(t, k)
+		var m MultiCore
+		if err := m.Run(ref, ps, gen, preds, mems, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(prof)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			preds, mems := lockstepFixtures(t, k)
+			var m MultiCore
+			got := make([]Result, k)
+			if err := m.Run(got, ps, gen, preds, mems, n); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Errorf("concurrent lane %d: %+v != %+v", i, got[i], ref[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLockstepRejections(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, mems := lockstepFixtures(t, 2)
+	ps := laneParams(2)
+	var m MultiCore
+
+	if err := m.Run(nil, nil, gen, nil, nil, 100); err == nil {
+		t.Error("empty group accepted")
+	}
+	if err := m.Run(make([]Result, 1), ps, gen, preds, mems, 100); err == nil {
+		t.Error("lane mismatch accepted")
+	}
+	if err := m.Run(make([]Result, 2), ps, nil, preds, mems, 100); err == nil {
+		t.Error("nil source accepted")
+	}
+	if err := m.Run(make([]Result, 2), ps, gen, preds, mems, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad := ps
+	bad[1].Width = 0
+	err = m.Run(make([]Result, 2), bad, gen, preds, mems, 100)
+	if err == nil || !strings.Contains(err.Error(), "lane 1") {
+		t.Errorf("invalid lane not identified: %v", err)
+	}
+}

@@ -318,6 +318,7 @@ func TestLoadLevelAccounting(t *testing.T) {
 func BenchmarkPipelineGCC(b *testing.B) {
 	prof, _ := workload.ByName("gcc")
 	p := baseParams()
+	const n = 20000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		gen, _ := workload.NewGenerator(prof)
@@ -326,8 +327,9 @@ func BenchmarkPipelineGCC(b *testing.B) {
 			timing.CacheGeom{Sets: 512, Assoc: 2, BlockBytes: 32},
 			timing.CacheGeom{Sets: 2048, Assoc: 4, BlockBytes: 128},
 		)
-		if _, err := Run(p, gen, pred, mem, 20000); err != nil {
+		if _, err := Run(p, gen, pred, mem, n); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/instr")
 }

@@ -104,6 +104,14 @@ func (s *Session) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profi
 	return s.engine.Evaluate(s.trace(ctx), cfg, p, budget, t, obj)
 }
 
+// EvaluateBatch runs a group of memoized evaluations of one workload at
+// one budget on the session's engine; members that miss the cache are
+// simulated as a single lockstep group over one shared replay of the
+// instruction stream. dst[i] receives the evaluation of cfgs[i].
+func (s *Session) EvaluateBatch(ctx context.Context, dst []evalengine.Eval, cfgs []sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) error {
+	return s.engine.EvaluateBatch(s.trace(ctx), dst, cfgs, p, budget, t, obj)
+}
+
 // Explore runs the annealing search for one workload on this session.
 // opt.Engine is overridden with the session's engine.
 func (s *Session) Explore(ctx context.Context, p workload.Profile, opt explore.Options) (explore.Outcome, error) {

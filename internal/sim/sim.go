@@ -266,27 +266,7 @@ func (r *Runner) RunSource(c Config, src workload.Source, name string, n int, t 
 		}
 		r.mem, r.l1Geom, r.l2Geom = mem, c.L1D, c.L2
 	}
-	// Miss latencies include a fill-transfer term proportional to the
-	// victim level's block size over a 16-byte-per-cycle fill path, so
-	// large blocks trade their spatial-locality benefit against transfer
-	// time rather than being free.
-	params := pipeline.Params{
-		Width:          c.Width,
-		FrontEndStages: c.FrontEndStages,
-		ROBSize:        c.ROBSize,
-		IQSize:         c.IQSize,
-		LSQSize:        c.LSQSize,
-		SchedStages:    c.SchedDepth,
-		LSQStages:      c.LSQDepth,
-		WakeupExtra:    c.WakeupMinLat,
-		LatL1:          c.L1DLat,
-		LatL2:          c.L1DLat + c.L2Lat + c.L1D.BlockBytes/16,
-		LatMem:         c.L1DLat + c.L2Lat + c.MemCycles + c.L1D.BlockBytes/16 + c.L2.BlockBytes/16,
-		MulLat:         3,
-		DivLat:         20,
-		MemPorts:       2,
-	}
-	res, err := r.core.Run(params, src, r.pred, r.mem, n)
+	res, err := r.core.Run(coreParams(c), src, r.pred, r.mem, n)
 	if err != nil {
 		return Result{}, err
 	}

@@ -215,10 +215,12 @@ func BenchmarkRunInitialConfigGzip20k(b *testing.B) {
 	tp := tech.Default()
 	cfg := InitialConfig(tp)
 	prof, _ := workload.ByName("gzip")
+	const n = 20000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(cfg, prof, 20000, tp); err != nil {
+		if _, err := Run(cfg, prof, n, tp); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/instr")
 }

@@ -112,6 +112,12 @@ type RunSummary struct {
 	Misses       uint64 `json:"misses"`
 	Evictions    uint64 `json:"evictions"`
 	CacheEntries uint64 `json:"cache_entries"`
+	// Lockstep accounting (see evalengine.Stats): like the cache counters
+	// these depend on scheduling and caching, so diffing tools treat them
+	// as informational rather than drift.
+	LockstepGroups  uint64 `json:"lockstep_groups,omitempty"`
+	LockstepLanes   uint64 `json:"lockstep_lanes,omitempty"`
+	ScalarFallbacks uint64 `json:"scalar_fallbacks,omitempty"`
 }
 
 // Kind implements Event.

@@ -48,6 +48,10 @@ const (
 	KindEvalHit   = "eval.hit"
 	KindEvalDedup = "eval.dedup"
 	KindEvalMiss  = "eval.miss"
+	// KindEvalBatch covers one engine batch evaluation — a group of design
+	// points on one workload served together, lockstep when enough of them
+	// miss. Its arg is the group size.
+	KindEvalBatch = "eval.batch"
 	// KindSource covers materializing or fetching a workload's instruction
 	// stream inside an evaluation miss.
 	KindSource = "source"

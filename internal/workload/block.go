@@ -1,0 +1,75 @@
+// Structure-of-arrays instruction delivery. The pipeline consumes its
+// stream through a slab of instructions pulled from a Source in batches;
+// Block is that slab in column-major form. Each field of Instr becomes its
+// own densely packed array, so a consumer that scans one attribute (every
+// fetch reads Op; only branches read PC and Taken; only memory operations
+// read Addr) touches only that attribute's cache lines, and N lockstep
+// cores sharing one Block re-read the same hot columns instead of N
+// private copies.
+
+package workload
+
+// Block is a structure-of-arrays batch of instructions: column i of every
+// array describes the same dynamic instruction. A Block is filled from a
+// Source through an array-of-structs staging buffer (the Source contract
+// delivers []Instr) and transposed once; consumers index the columns
+// directly. The zero value is ready to use; Fill sizes the arrays on first
+// use and reuses them afterwards. Not safe for concurrent mutation — in
+// lockstep simulation one writer fills the Block, then any number of cores
+// read it.
+type Block struct {
+	Op       []Op
+	PC       []uint64
+	Src1Dist []int32
+	Src2Dist []int32
+	Addr     []uint64
+	Taken    []bool
+
+	n       int
+	staging []Instr
+}
+
+// Len reports how many instructions the last Fill delivered.
+func (b *Block) Len() int { return b.n }
+
+// grow ensures capacity for want instructions, reusing prior arrays.
+func (b *Block) grow(want int) {
+	if cap(b.staging) >= want {
+		b.staging = b.staging[:want]
+		b.Op = b.Op[:want]
+		b.PC = b.PC[:want]
+		b.Src1Dist = b.Src1Dist[:want]
+		b.Src2Dist = b.Src2Dist[:want]
+		b.Addr = b.Addr[:want]
+		b.Taken = b.Taken[:want]
+		return
+	}
+	b.staging = make([]Instr, want)
+	b.Op = make([]Op, want)
+	b.PC = make([]uint64, want)
+	b.Src1Dist = make([]int32, want)
+	b.Src2Dist = make([]int32, want)
+	b.Addr = make([]uint64, want)
+	b.Taken = make([]bool, want)
+}
+
+// Fill pulls the next want instructions from src — exactly the
+// instructions want successive Next calls would produce — and transposes
+// them into the Block's columns. It returns the number delivered (sources
+// in this repo always deliver the full count; a finite external source may
+// come up short).
+func (b *Block) Fill(src Source, want int) int {
+	b.grow(want)
+	got := src.NextBatch(b.staging[:want])
+	for i := 0; i < got; i++ {
+		ins := &b.staging[i]
+		b.Op[i] = ins.Op
+		b.PC[i] = ins.PC
+		b.Src1Dist[i] = ins.Src1Dist
+		b.Src2Dist[i] = ins.Src2Dist
+		b.Addr[i] = ins.Addr
+		b.Taken[i] = ins.Taken
+	}
+	b.n = got
+	return got
+}
