@@ -17,9 +17,11 @@ race:
 	$(GO) test -race ./...
 
 # race-hot is the focused race gate for the concurrency-heavy packages:
-# the evaluation engine, the telemetry substrate, and the annealer.
+# the evaluation engine, the telemetry substrate, the annealer, and the
+# kernel packages whose introspection taps feed a shared ring from
+# concurrent workers.
 race-hot:
-	$(GO) test -race ./internal/evalengine ./internal/telemetry ./internal/explore
+	$(GO) test -race ./internal/evalengine ./internal/telemetry ./internal/explore ./internal/pipeline ./internal/sim ./internal/introspect
 
 # bench reports the headline reproduction metrics plus the evaluation
 # engine's cache hit rate and sim-latency quantiles (cacheHit%, simP50ms,

@@ -43,7 +43,7 @@ var suite = []struct {
 	pkg     string
 	pattern string
 }{
-	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner"},
+	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner|BenchmarkRunnerIntrospection"},
 	{"./internal/pipeline", "BenchmarkPipelineGCC"},
 	{".", "BenchmarkAnnealChainKernel"},
 }

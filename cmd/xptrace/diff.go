@@ -30,6 +30,10 @@ var ignoredFlags = map[string]bool{
 	"log-level": true, "log-format": true, "cpuprofile": true, "memprofile": true,
 	"evalstats": true, "save": true, "savematrix": true, "out": true,
 	"lockstep": true,
+	// Introspection attributes and samples; it never changes what the
+	// kernel computes (Result is bit-identical armed or not), so an armed
+	// run must diff clean against a plain one.
+	"cpi": true, "intervals": true, "interval-size": true,
 }
 
 func diffCmd(args []string) (bool, error) {

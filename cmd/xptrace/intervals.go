@@ -1,0 +1,135 @@
+// The intervals subcommand: render the phase timeline a -intervals run
+// recorded. Each JSONL record is a cumulative kernel snapshot taken every
+// N committed instructions; the view differences consecutive records into
+// per-interval rows — IPC, branch and cache behavior, and the dominant
+// CPI bucket of the window — so program phases (a pointer-chasing stretch
+// going memory-bound, a predictable loop running at full width) show as
+// runs of rows, exactly the interval analysis of the SimPoint line of
+// work. Output is deterministic: simulations sort by (workload, config,
+// lane) and records by sequence number.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"xpscalar/internal/introspect"
+	"xpscalar/internal/pipeline"
+	"xpscalar/internal/report"
+)
+
+func intervalsCmd(args []string) error {
+	fs := flag.NewFlagSet("intervals", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("intervals: want exactly one intervals file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	recs, err := introspect.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	return writeIntervalTimeline(os.Stdout, recs)
+}
+
+// writeIntervalTimeline renders one table per simulation, each row the
+// delta between consecutive cumulative snapshots.
+func writeIntervalTimeline(w io.Writer, recs []introspect.Record) error {
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "no interval records (run with -intervals FILE to collect them)")
+		return err
+	}
+	type key struct {
+		workload, config string
+		lane             int
+	}
+	groups := map[key][]introspect.Record{}
+	for _, r := range recs {
+		k := key{r.Workload, r.Config, r.Lane}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].workload != keys[j].workload {
+			return keys[i].workload < keys[j].workload
+		}
+		if keys[i].config != keys[j].config {
+			return keys[i].config < keys[j].config
+		}
+		return keys[i].lane < keys[j].lane
+	})
+
+	for gi, k := range keys {
+		g := groups[k]
+		sort.Slice(g, func(i, j int) bool { return g[i].Seq < g[j].Seq })
+		if gi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s on %s (lane %d): %d intervals\n", k.workload, k.config, k.lane, len(g))
+		tab := &report.Table{Header: []string{
+			"seq", "instrs", "cycles", "ipc", "br-mr", "l1-mpki", "l2-mpki", "dominant",
+		}}
+		prev := introspect.Record{}
+		for _, r := range g {
+			di := r.Instructions - prev.Instructions
+			dc := r.Cycles - prev.Cycles
+			ipc := "—"
+			if dc > 0 {
+				ipc = fmt.Sprintf("%.3f", float64(di)/float64(dc))
+			}
+			brMR := "—"
+			if dl := r.Branch.Lookups - prev.Branch.Lookups; dl > 0 {
+				brMR = fmt.Sprintf("%.1f%%", 100*float64(r.Branch.Mispredicts-prev.Branch.Mispredicts)/float64(dl))
+			}
+			mpki := func(dm uint64) string {
+				if di == 0 {
+					return "—"
+				}
+				return fmt.Sprintf("%.1f", 1000*float64(dm)/float64(di))
+			}
+			var delta pipeline.CPIStack
+			for b := range delta {
+				delta[b] = r.Stack[b] - prev.Stack[b]
+			}
+			dom := dominantBucket(delta)
+			domCell := "—"
+			if dc > 0 {
+				domCell = fmt.Sprintf("%s %.0f%%", dom, 100*float64(delta[dom])/float64(dc))
+			}
+			tab.AddRow(fmt.Sprint(r.Seq), fmt.Sprint(r.Instructions), fmt.Sprint(r.Cycles),
+				ipc, brMR,
+				mpki(r.L1.Misses-prev.L1.Misses), mpki(r.L2.Misses-prev.L2.Misses),
+				domCell)
+			prev = r
+		}
+		if err := tab.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dominantBucket picks the interval's largest CPI bucket; ties resolve to
+// the lowest bucket index, keeping the view deterministic.
+func dominantBucket(s pipeline.CPIStack) pipeline.Bucket {
+	best := pipeline.Bucket(0)
+	for b := pipeline.Bucket(1); int(b) < pipeline.NumBuckets; b++ {
+		if s[b] > s[best] {
+			best = b
+		}
+	}
+	return best
+}

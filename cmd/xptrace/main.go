@@ -5,6 +5,8 @@
 //	xptrace report [-spans file] TRACE.jsonl
 //	xptrace diff TRACE_A.jsonl TRACE_B.jsonl
 //	xptrace export [-o out.json] SPANS
+//	xptrace cpi TRACE.jsonl
+//	xptrace intervals INTERVALS.jsonl
 //
 // report digests one run: annealing convergence per chain, the
 // acceptance-rate curve over the search, the cache-effectiveness timeline,
@@ -21,6 +23,14 @@
 //
 // export converts a span stream to Chrome trace-event JSON loadable in
 // chrome://tracing or Perfetto, one named thread per worker track.
+//
+// cpi renders the CPI-stack decomposition a -cpi run attached to its
+// evaluation events: one row per (workload, configuration), every
+// simulated cycle attributed to exactly one stall bucket.
+//
+// intervals renders the phase timeline a -intervals run collected: the
+// cumulative kernel snapshots differenced into per-interval IPC, branch
+// and cache behavior, and the dominant stall bucket of each window.
 package main
 
 import (
@@ -53,6 +63,10 @@ func main() {
 		drift, err = diffCmd(os.Args[2:])
 	case "export":
 		err = exportCmd(os.Args[2:])
+	case "cpi":
+		err = cpiCmd(os.Args[2:])
+	case "intervals":
+		err = intervalsCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -75,6 +89,8 @@ func usage() {
   xptrace report [-spans file] TRACE.jsonl    digest one run trace
   xptrace diff TRACE_A.jsonl TRACE_B.jsonl    compare two run traces (exit 2 on drift)
   xptrace export [-o out.json] SPANS          span stream -> Chrome trace JSON
+  xptrace cpi TRACE.jsonl                     CPI-stack breakdown of a -cpi run
+  xptrace intervals INTERVALS.jsonl           phase timeline of a -intervals run
 `)
 }
 

@@ -72,6 +72,16 @@ func TestEndToEnd(t *testing.T) {
 	explore(t, xpscalarBin, traceC, "", "7")
 	traceScalar := filepath.Join(dir, "scalar.jsonl")
 	outScalar := explore(t, xpscalarBin, traceScalar, "", "42", "-lockstep=false")
+	traceCPI := filepath.Join(dir, "cpi.jsonl")
+	intervalsFile := filepath.Join(dir, "a.intervals")
+	outCPI := explore(t, xpscalarBin, traceCPI, "", "42",
+		"-cpi", "-intervals", intervalsFile, "-interval-size", "500")
+
+	// Introspection observes the kernel, never steers it: stdout (Table 4)
+	// is byte-identical with cycle accounting and interval sampling armed.
+	if !bytes.Equal(outTraced, outCPI) {
+		t.Errorf("stdout differs with -cpi/-intervals:\n--- plain\n%s--- introspected\n%s", outTraced, outCPI)
+	}
 
 	// Lockstep grouping is an execution strategy, not a model change: a
 	// scalar-simulation run must produce the same Table 4 byte for byte.
@@ -127,6 +137,68 @@ func TestEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(string(out), "no drift") {
 			t.Errorf("lockstep vs scalar runs did not report zero drift:\n%s", out)
+		}
+	})
+
+	t.Run("diff-introspected-identical", func(t *testing.T) {
+		// Introspection flags are observability-only; an armed run diffs
+		// clean against a plain one — same seed, zero outcome drift.
+		cmd := exec.Command(xptraceBin, "diff", traceA, traceCPI)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("diff plain vs introspected failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "no drift") {
+			t.Errorf("plain vs introspected runs did not report zero drift:\n%s", out)
+		}
+	})
+
+	t.Run("cpi", func(t *testing.T) {
+		run := func() []byte {
+			cmd := exec.Command(xptraceBin, "cpi", traceCPI)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("cpi: %v\n%s", err, out)
+			}
+			return out
+		}
+		out := run()
+		for _, want := range []string{"CPI stacks", "configurations:", "base", "mispredict", "gzip"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("cpi view missing %q:\n%s", want, out)
+			}
+		}
+		if again := run(); !bytes.Equal(out, again) {
+			t.Errorf("cpi view is not deterministic:\n--- first\n%s--- second\n%s", out, again)
+		}
+		// A trace recorded without -cpi has no stacks to show.
+		cmd := exec.Command(xptraceBin, "cpi", traceA)
+		plain, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("cpi on plain trace: %v\n%s", err, plain)
+		}
+		if !strings.Contains(string(plain), "no CPI stacks") {
+			t.Errorf("cpi on a plain trace should report no stacks:\n%s", plain)
+		}
+	})
+
+	t.Run("intervals", func(t *testing.T) {
+		run := func() []byte {
+			cmd := exec.Command(xptraceBin, "intervals", intervalsFile)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("intervals: %v\n%s", err, out)
+			}
+			return out
+		}
+		out := run()
+		for _, want := range []string{"intervals", "seq", "ipc", "dominant", "gzip"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("intervals view missing %q:\n%s", want, out)
+			}
+		}
+		if again := run(); !bytes.Equal(out, again) {
+			t.Errorf("intervals view is not deterministic:\n--- first\n%s--- second\n%s", out, again)
 		}
 	})
 

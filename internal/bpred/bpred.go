@@ -86,8 +86,8 @@ type Predictor interface {
 
 // Stats counts predictor outcomes.
 type Stats struct {
-	Lookups     uint64
-	Mispredicts uint64
+	Lookups     uint64 `json:"lookups"`
+	Mispredicts uint64 `json:"mispredicts"`
 }
 
 // MispredictRate returns the fraction of lookups that were mispredicted.

@@ -43,9 +43,9 @@ func (l Level) String() string {
 
 // Stats counts accesses and misses for one cache.
 type Stats struct {
-	Accesses   uint64
-	Misses     uint64
-	Writebacks uint64
+	Accesses   uint64 `json:"accesses"`
+	Misses     uint64 `json:"misses"`
+	Writebacks uint64 `json:"writebacks"`
 }
 
 // MissRate returns misses per access.

@@ -25,6 +25,7 @@ import (
 	"xpscalar/internal/core"
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
+	"xpscalar/internal/introspect"
 	"xpscalar/internal/session"
 	"xpscalar/internal/tech"
 	"xpscalar/internal/telemetry"
@@ -43,15 +44,28 @@ type TelemetryConfig struct {
 	MetricsAddr string
 	// Progress renders search progress to stderr.
 	Progress bool
+	// CPI arms CPI-stack cycle accounting on every uncached simulation;
+	// evaluation trace events then carry per-bucket cycle breakdowns and
+	// the CPI-share metrics go live.
+	CPI bool
+	// IntervalsPath is the JSONL interval-snapshot dump ("" for none;
+	// implies CPI accounting); analyze with xptrace intervals.
+	IntervalsPath string
+	// IntervalSize is the sampling period in committed instructions.
+	IntervalSize int
 }
 
-// RegisterFlags registers -trace, -spans, -metrics-addr and -progress on
-// the default flag set, pointing at this config.
+// RegisterFlags registers -trace, -spans, -metrics-addr, -progress, -cpi,
+// -intervals and -interval-size on the default flag set, pointing at this
+// config.
 func (c *TelemetryConfig) RegisterFlags() {
 	flag.StringVar(&c.TracePath, "trace", "", "write a structured JSONL run trace to this file")
 	flag.StringVar(&c.SpansPath, "spans", "", "record hierarchical execution spans to this file (analyze with xptrace)")
 	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics on this address (e.g. 127.0.0.1:9090)")
 	flag.BoolVar(&c.Progress, "progress", false, "report search progress to stderr")
+	flag.BoolVar(&c.CPI, "cpi", false, "attribute every simulated cycle to a CPI-stack bucket (analyze with xptrace cpi)")
+	flag.StringVar(&c.IntervalsPath, "intervals", "", "write JSONL interval snapshots to this file (implies -cpi; analyze with xptrace intervals)")
+	flag.IntVar(&c.IntervalSize, "interval-size", 1000, "interval sampling period in committed instructions (with -intervals)")
 }
 
 // Telemetry is one run's observability session: the trace sink, the
@@ -70,7 +84,16 @@ type Telemetry struct {
 	rec       *tracing.Recorder
 	root      tracing.Handle
 	runSpan   tracing.Span
+
+	introOn       bool
+	intervalsPath string
+	ring          *introspect.Ring
 }
+
+// intervalsRingCap bounds the in-memory interval buffer (~16MB of records
+// at the cap); overflow drops the newest records, counted by the
+// sim_intervals_dropped_total metric.
+const intervalsRingCap = 1 << 16
 
 // StartTelemetry opens the sink and metrics endpoint requested by cfg,
 // wires sess's evaluation engine into both, and emits the run manifest.
@@ -82,11 +105,25 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 		sess = session.Default()
 	}
 	t := &Telemetry{sess: sess, start: time.Now(), tool: tool}
-	if cfg.TracePath == "" && cfg.SpansPath == "" && cfg.MetricsAddr == "" && !cfg.Progress {
+	if cfg.TracePath == "" && cfg.SpansPath == "" && cfg.MetricsAddr == "" && !cfg.Progress &&
+		!cfg.CPI && cfg.IntervalsPath == "" {
 		return t, nil
 	}
 	if cfg.Progress {
 		t.progress = newProgressObserver(os.Stderr)
+	}
+	if cfg.CPI || cfg.IntervalsPath != "" {
+		interval := 0
+		if cfg.IntervalsPath != "" {
+			t.intervalsPath = cfg.IntervalsPath
+			t.ring = introspect.NewRing(intervalsRingCap)
+			interval = cfg.IntervalSize
+			if interval < 1 {
+				interval = 1
+			}
+		}
+		t.introOn = true
+		sess.EnableIntrospection(interval, t.ring)
 	}
 	if cfg.SpansPath != "" {
 		t.spansPath = cfg.SpansPath
@@ -176,6 +213,10 @@ func (o evalObserver) ObserveEval(r evalengine.EvalRecord) {
 		WallNs:   r.WallNs,
 		Score:    r.Score,
 		IPT:      r.IPT,
+		Config:   r.Config,
+	}
+	if r.CPI != nil {
+		e.CPI = r.CPI.Map()
 	}
 	if r.Err != nil {
 		e.Error = r.Err.Error()
@@ -284,6 +325,16 @@ func (t *Telemetry) Close() error {
 		}
 		t.rec = nil
 	}
+	if t.introOn {
+		t.sess.DisableIntrospection()
+		t.introOn = false
+		if t.intervalsPath != "" {
+			if err := t.writeIntervals(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("intervals: %w", err)
+			}
+			t.intervalsPath, t.ring = "", nil
+		}
+	}
 	if t.server != nil {
 		if err := t.server.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -291,6 +342,24 @@ func (t *Telemetry) Close() error {
 		t.server = nil
 	}
 	return firstErr
+}
+
+// writeIntervals flushes the interval ring to the -intervals file.
+func (t *Telemetry) writeIntervals() error {
+	f, err := os.Create(t.intervalsPath)
+	if err != nil {
+		return err
+	}
+	recs := t.ring.Records()
+	if err := introspect.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	slog.Info("intervals written", "records", len(recs), "dropped", t.ring.Dropped(), "path", t.intervalsPath)
+	return nil
 }
 
 // writeSpans flushes the recorded span stream to the -spans file.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"xpscalar/internal/pipeline"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
@@ -171,6 +172,21 @@ func (e *Engine) runLockstep(h tracing.Handle, lanes []int, claims []batchClaim,
 		begin = time.Now()
 	}
 	mr := e.multis.Get().(*sim.MultiRunner)
+	// Re-applied every run, exactly as compute does for scalar runners:
+	// pooled MultiRunners must not carry taps across armed/disarmed phases.
+	ic := e.intro.Load()
+	if ic != nil {
+		var recs []pipeline.IntervalRecorder
+		if ic.ring != nil && ic.interval > 0 {
+			recs = make([]pipeline.IntervalRecorder, len(lanes))
+			for j, i := range lanes {
+				recs[j] = ic.introspection(p.Name, cfgs[i].String(), j).Recorder
+			}
+		}
+		mr.SetIntrospection(ic.interval, recs)
+	} else {
+		mr.DisableIntrospection()
+	}
 	msp := h.Begin(tracing.KindSimulate, p.Name, int64(budget)*int64(len(lanes)))
 	err = mr.RunSource(results, group, src, p.Name, budget, t)
 	h.End(msp)
@@ -196,6 +212,9 @@ func (e *Engine) runLockstep(h tracing.Handle, lanes []int, claims []batchClaim,
 	}
 	for j, i := range lanes {
 		me := claims[i].entry
+		if ic != nil {
+			e.addCPITotals(results[j].CPI)
+		}
 		score, serr := power.Score(results[j], obj, t)
 		if serr != nil {
 			me.err = serr

@@ -24,6 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xpscalar/internal/introspect"
+	"xpscalar/internal/pipeline"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
@@ -103,6 +105,65 @@ type Engine struct {
 	simHist   atomic.Pointer[telemetry.Histogram]
 	groupHist atomic.Pointer[telemetry.Histogram]
 	obs       atomic.Pointer[EvalObserver]
+
+	// Introspection: nil by default (kernel runs with accounting off, the
+	// zero-alloc fast path). When armed, every miss runs with CPI-stack
+	// accounting — and, given a ring, interval sampling — and its stack is
+	// folded into cpiTotals, the run-wide cycle breakdown the CPI-share
+	// metrics export.
+	intro     atomic.Pointer[introCfg]
+	cpiTotals [pipeline.NumBuckets]atomic.Uint64
+}
+
+// introCfg is the engine's armed introspection configuration.
+type introCfg struct {
+	interval int
+	ring     *introspect.Ring
+}
+
+// EnableIntrospection arms CPI-stack accounting for every subsequent
+// uncached simulation. With a non-nil ring and a positive interval,
+// simulations additionally stream labeled interval snapshots into the
+// ring. Entries memoized before arming keep their (stack-free) results —
+// introspection only observes fresh simulations.
+func (e *Engine) EnableIntrospection(interval int, ring *introspect.Ring) {
+	e.intro.Store(&introCfg{interval: interval, ring: ring})
+}
+
+// DisableIntrospection returns subsequent simulations to the accounting-off
+// fast path.
+func (e *Engine) DisableIntrospection() { e.intro.Store(nil) }
+
+// CPITotals returns the summed CPI stack of every introspected simulation
+// the engine has run.
+func (e *Engine) CPITotals() pipeline.CPIStack {
+	var s pipeline.CPIStack
+	for b := range s {
+		s[b] = e.cpiTotals[b].Load()
+	}
+	return s
+}
+
+// addCPITotals folds one simulation's stack into the run-wide breakdown.
+func (e *Engine) addCPITotals(s pipeline.CPIStack) {
+	for b, v := range s {
+		if v != 0 {
+			e.cpiTotals[b].Add(v)
+		}
+	}
+}
+
+// introspection returns the armed configuration (nil when off) and, when
+// sampling is configured, a fresh tap labeled for the simulation about to
+// run on the given lane.
+func (ic *introCfg) introspection(workload, config string, lane int) *pipeline.Introspection {
+	intro := &pipeline.Introspection{Interval: ic.interval}
+	if ic.ring != nil && ic.interval > 0 {
+		tap := &introspect.Tap{}
+		tap.Init(ic.ring, workload, config, lane)
+		intro.Recorder = tap
+	}
+	return intro
 }
 
 // EvalRecord describes one Evaluate call for an observer: how the request
@@ -117,7 +178,14 @@ type EvalRecord struct {
 	WallNs int64
 	Score  float64
 	IPT    float64
-	Err    error
+	// Config is the evaluated configuration's canonical string form
+	// (empty on error).
+	Config string
+	// CPI is the evaluation's CPI-stack decomposition, present when the
+	// result carries one (the simulation — or the cached simulation the
+	// hit was served from — ran with introspection armed).
+	CPI *pipeline.CPIStack
+	Err error
 }
 
 // EvalObserver receives one record per Evaluate call. Implementations must
@@ -182,6 +250,23 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
 		func() float64 { return float64(e.lockstepLanes.Load()) })
 	reg.Func("xpscalar_lockstep_scalar_fallbacks_total", "lockstep groups degraded to scalar simulations", "counter",
 		func() float64 { return float64(e.scalarFallbacks.Load()) })
+	reg.Func("xpscalar_sim_intervals_dropped_total", "interval records dropped to introspection ring overflow", "counter",
+		func() float64 {
+			if ic := e.intro.Load(); ic != nil && ic.ring != nil {
+				return float64(ic.ring.Dropped())
+			}
+			return 0
+		})
+	// One share gauge per CPI bucket: this bucket's fraction of all cycles
+	// simulated with introspection armed. All zeros until introspection is
+	// enabled; thereafter the family sums to 1.
+	names := pipeline.BucketNames()
+	for b := 0; b < pipeline.NumBuckets; b++ {
+		bucket := pipeline.Bucket(b)
+		reg.Func("xpscalar_cpi_share_"+names[b],
+			"fraction of introspected cycles attributed to the "+names[b]+" CPI bucket", "gauge",
+			func() float64 { return e.CPITotals().Share(bucket) })
+	}
 	// Bounds from 100µs to ~1.6s: short-budget evaluations land in the low
 	// buckets, refinement-budget ones further up.
 	e.simHist.Store(reg.Histogram("xpscalar_sim_seconds",
@@ -370,12 +455,19 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 }
 
 // record builds an observer record, guarding the derived IPT against the
-// zero Result an errored evaluation carries.
+// zero Result an errored evaluation carries. A result that carries a CPI
+// stack (its simulation ran introspected — possibly on an earlier call,
+// for hits) is passed through by pointer copy.
 func record(workload string, budget int, outcome string, wallNs int64, val Eval, err error) EvalRecord {
 	r := EvalRecord{Workload: workload, Budget: budget, Outcome: outcome, WallNs: wallNs, Err: err}
 	if err == nil {
 		r.Score = val.Score
 		r.IPT = val.Result.IPT()
+		r.Config = val.Result.Config.String()
+		if val.Result.CPI != (pipeline.CPIStack{}) {
+			cp := val.Result.CPI
+			r.CPI = &cp
+		}
 	}
 	return r
 }
@@ -407,11 +499,23 @@ func (e *Engine) compute(h tracing.Handle, cfg sim.Config, p workload.Profile, b
 	}
 	msp := h.Begin(tracing.KindSimulate, p.Name, int64(budget))
 	runner := e.runners.Get().(*sim.Runner)
+	// The introspection setting is re-applied on every run: pooled runners
+	// migrate between armed and disarmed phases, so a stale tap must never
+	// survive the pool.
+	ic := e.intro.Load()
+	if ic != nil {
+		runner.Introspect(ic.introspection(p.Name, cfg.String(), 0))
+	} else {
+		runner.Introspect(nil)
+	}
 	r, err := runner.RunSource(cfg, src, p.Name, budget, t)
 	e.runners.Put(runner)
 	h.End(msp)
 	if err != nil {
 		return Eval{}, err
+	}
+	if ic != nil {
+		e.addCPITotals(r.CPI)
 	}
 	score, err := power.Score(r, obj, t)
 	if err != nil {
@@ -509,4 +613,7 @@ func (e *Engine) ResetStats() {
 	e.lockstepGroups.Store(0)
 	e.lockstepLanes.Store(0)
 	e.scalarFallbacks.Store(0)
+	for b := range e.cpiTotals {
+		e.cpiTotals[b].Store(0)
+	}
 }

@@ -1,0 +1,176 @@
+// Package introspect collects the simulation kernel's interval snapshots
+// — the CPI-stack and event-counter records pipeline.Core emits every N
+// committed instructions — into a bounded, preallocated ring shared by
+// every evaluation in a run, and serializes them as JSONL for offline
+// analysis (xptrace intervals).
+//
+// The package sits between the kernel's hot path and the telemetry layer:
+// a Tap labels each pipeline.IntervalRecord with the workload,
+// configuration and lane it came from and appends it to the Ring; the
+// Ring never grows after construction and drops (counting) rather than
+// blocking or allocating when full, so arming interval sampling keeps the
+// kernel's zero-steady-state-allocation property for every record that
+// fits the ring.
+package introspect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xpscalar/internal/pipeline"
+)
+
+// Record is one labeled interval snapshot: which workload, configuration
+// and lockstep lane produced it, its sequence number within that
+// simulation (0-based, in emission order), and the kernel's cumulative
+// counters.
+type Record struct {
+	// Workload names the instruction stream.
+	Workload string `json:"workload"`
+	// Config is the configuration's canonical string form.
+	Config string `json:"config"`
+	// Lane is the lockstep lane index (0 for scalar runs).
+	Lane int `json:"lane"`
+	// Seq orders the records of one simulation.
+	Seq int `json:"seq"`
+	pipeline.IntervalRecord
+}
+
+// Ring is a fixed-capacity interval-record sink, safe for concurrent
+// taps. All storage is allocated at construction; when the ring is full,
+// new records are dropped and counted rather than evicting old ones —
+// the head of a run is the part phase analysis needs intact, and a
+// monotone drop counter is easier to alert on than silent rotation.
+type Ring struct {
+	mu      sync.Mutex
+	recs    []Record
+	n       int
+	dropped atomic.Uint64
+}
+
+// NewRing builds a ring holding up to capacity records.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{recs: make([]Record, capacity)}
+}
+
+// Append adds one record, dropping it (and counting the drop) if the ring
+// is full.
+func (r *Ring) Append(rec Record) {
+	r.mu.Lock()
+	if r.n < len(r.recs) {
+		r.recs[r.n] = rec
+		r.n++
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.dropped.Add(1)
+}
+
+// Len returns the number of records held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns the number of records dropped to overflow.
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }
+
+// Records returns a copy of the held records in arrival order.
+func (r *Ring) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, r.n)
+	copy(out, r.recs[:r.n])
+	return out
+}
+
+// Reset empties the ring and zeroes the drop counter; capacity is kept.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.n = 0
+	r.mu.Unlock()
+	r.dropped.Store(0)
+}
+
+// Tap adapts a Ring to pipeline.IntervalRecorder for one simulation: it
+// stamps every record with the simulation's labels and a running sequence
+// number. A Tap is reusable — Init rebinds it to the next simulation —
+// but belongs to one simulation at a time (the kernel calls RecordInterval
+// synchronously).
+type Tap struct {
+	ring     *Ring
+	workload string
+	config   string
+	lane     int
+	seq      int
+}
+
+// Init points the tap at ring and binds the labels for the simulation
+// about to run, restarting the sequence numbering.
+func (t *Tap) Init(ring *Ring, workload, config string, lane int) {
+	t.ring = ring
+	t.workload = workload
+	t.config = config
+	t.lane = lane
+	t.seq = 0
+}
+
+// RecordInterval implements pipeline.IntervalRecorder.
+func (t *Tap) RecordInterval(rec pipeline.IntervalRecord) {
+	t.ring.Append(Record{
+		Workload:       t.workload,
+		Config:         t.config,
+		Lane:           t.lane,
+		Seq:            t.seq,
+		IntervalRecord: rec,
+	})
+	t.seq++
+}
+
+// WriteJSONL serializes records one JSON object per line — the interval
+// dump format xptrace intervals reads. Output is deterministic: field
+// order is fixed by the struct definitions and records are written in the
+// order given.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("introspect: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a JSONL interval dump produced by WriteJSONL.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("introspect: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("introspect: read: %w", err)
+	}
+	return recs, nil
+}

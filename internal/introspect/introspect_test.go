@@ -1,0 +1,140 @@
+package introspect
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"xpscalar/internal/bpred"
+	"xpscalar/internal/cache"
+	"xpscalar/internal/pipeline"
+)
+
+func sampleRecord(seq int) Record {
+	var stack pipeline.CPIStack
+	stack[pipeline.BucketBase] = uint64(900 + seq)
+	stack[pipeline.BucketLoadMem] = 100
+	return Record{
+		Workload: "gcc",
+		Config:   "clk=0.50ns w=4",
+		Lane:     1,
+		Seq:      seq,
+		IntervalRecord: pipeline.IntervalRecord{
+			Instructions: uint64(1000 * (seq + 1)),
+			Cycles:       uint64(1000 + seq),
+			Stack:        stack,
+			Branch:       bpred.Stats{Lookups: 150, Mispredicts: 12},
+			L1:           cache.Stats{Accesses: 400, Misses: 31, Writebacks: 7},
+			L2:           cache.Stats{Accesses: 31, Misses: 9},
+			LoadsL1:      300, LoadsL2: 20, LoadsMem: 9,
+		},
+	}
+}
+
+func TestRingAppendAndOverflow(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(sampleRecord(i))
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Errorf("record %d has seq %d: overflow must drop newest, keep head", i, rec.Seq)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("after Reset: Len=%d Dropped=%d, want 0/0", r.Len(), r.Dropped())
+	}
+	r.Append(sampleRecord(9))
+	if got := r.Records(); len(got) != 1 || got[0].Seq != 9 {
+		t.Errorf("ring unusable after Reset: %+v", got)
+	}
+}
+
+func TestRingConcurrentTaps(t *testing.T) {
+	const lanes, per = 8, 200
+	r := NewRing(lanes * per / 2) // force overflow under contention
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			var tap Tap
+			tap.Init(r, "gzip", "cfg", lane)
+			for i := 0; i < per; i++ {
+				tap.RecordInterval(pipeline.IntervalRecord{Instructions: uint64(i)})
+			}
+		}(l)
+	}
+	wg.Wait()
+	if got := r.Len() + int(r.Dropped()); got != lanes*per {
+		t.Errorf("held+dropped = %d, want %d", got, lanes*per)
+	}
+	if r.Len() != lanes*per/2 {
+		t.Errorf("Len = %d, want full capacity %d", r.Len(), lanes*per/2)
+	}
+}
+
+func TestTapLabelsAndSeq(t *testing.T) {
+	r := NewRing(8)
+	var tap Tap
+	tap.Init(r, "mcf", "cfg-a", 3)
+	tap.RecordInterval(pipeline.IntervalRecord{Instructions: 10})
+	tap.RecordInterval(pipeline.IntervalRecord{Instructions: 20})
+	tap.Init(r, "gcc", "cfg-b", 0) // rebind: fresh sequence
+	tap.RecordInterval(pipeline.IntervalRecord{Instructions: 30})
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	want := []Record{
+		{Workload: "mcf", Config: "cfg-a", Lane: 3, Seq: 0, IntervalRecord: pipeline.IntervalRecord{Instructions: 10}},
+		{Workload: "mcf", Config: "cfg-a", Lane: 3, Seq: 1, IntervalRecord: pipeline.IntervalRecord{Instructions: 20}},
+		{Workload: "gcc", Config: "cfg-b", Lane: 0, Seq: 0, IntervalRecord: pipeline.IntervalRecord{Instructions: 30}},
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestJSONLRoundTripAndDeterminism(t *testing.T) {
+	recs := []Record{sampleRecord(0), sampleRecord(1), sampleRecord(2)}
+	var buf1 bytes.Buffer
+	if err := WriteJSONL(&buf1, recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("serialization is not byte-deterministic")
+	}
+	back, err := ReadRecords(&buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip: %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReadRecordsRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecords(bytes.NewBufferString("{\"workload\":\"x\"}\nnot json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}

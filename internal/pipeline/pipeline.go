@@ -119,6 +119,7 @@ type robEntry struct {
 	state   uint8
 	mispred bool
 	isMem   bool
+	level   uint8  // serving cache level for issued loads (levelNone otherwise)
 	doneAt  int64  // first cycle the result is available to consumers
 	dep1    uint64 // absolute producer indices; 0 = none
 	dep2    uint64
@@ -246,6 +247,18 @@ type Core struct {
 	committed uint64
 
 	loadsL1, loadsL2, loadsMem uint64
+
+	// Introspection state (see cpi.go). intro is the sticky configuration;
+	// the rest is per-run. lastCommits and dispBlock are written every
+	// cycle whether or not introspection is armed — unconditional scalar
+	// stores, cheaper than a branch — and read only by classify.
+	intro       *Introspection
+	cpi         CPIStack
+	cpiOn       bool
+	sampleEvery uint64
+	nextSample  uint64
+	lastCommits int
+	dispBlock   uint8
 }
 
 // fetched is one front-end instruction in flight toward dispatch. Only the
@@ -386,6 +399,7 @@ func (c *Core) reset(p Params, gen workload.Source, pred bpred.Predictor, mem *c
 	c.cycle = 0
 	c.committed = 0
 	c.loadsL1, c.loadsL2, c.loadsMem = 0, 0, 0
+	c.resetIntrospection()
 }
 
 // Run simulates n instructions on this core's scratch arenas, resetting
@@ -419,8 +433,10 @@ func (c *Core) Run(p Params, gen workload.Source, pred bpred.Predictor, mem *cac
 }
 
 // result assembles the run's summary from the core's counters and the
-// external predictor/cache state.
+// external predictor/cache state, emitting the closing interval record
+// first (while those references are still attached).
 func (c *Core) result() Result {
+	c.finishIntrospection()
 	return Result{
 		Instructions: c.committed,
 		Cycles:       uint64(c.cycle),
@@ -468,8 +484,16 @@ func (c *Core) runSlab() (needRefill bool, err error) {
 				return false, fmt.Errorf("pipeline: deadlock at cycle %d (%d/%d committed)",
 					c.cycle, c.committed, c.total)
 			}
+			if c.cpiOn {
+				// The machine is frozen across the jumped span, so one
+				// classification covers every skipped cycle.
+				c.cpi[c.classify()] += uint64(next - c.cycle)
+			}
 			c.cycle = next
 			continue
+		}
+		if c.cpiOn {
+			c.cpi[c.classify()]++
 		}
 		c.cycle++
 	}
@@ -502,6 +526,10 @@ func (c *Core) commit() bool {
 		c.head++
 		c.committed++
 		n++
+	}
+	c.lastCommits = n
+	if c.committed >= c.nextSample {
+		c.sampleIntervals()
 	}
 	return n > 0
 }
@@ -839,12 +867,15 @@ func (c *Core) memLatency(e *robEntry) int {
 	case cache.LevelL1:
 		lat = c.p.LatL1
 		c.loadsL1++
+		e.level = levelL1
 	case cache.LevelL2:
 		lat = c.p.LatL2
 		c.loadsL2++
+		e.level = levelL2
 	default:
 		lat = c.p.LatMem
 		c.loadsMem++
+		e.level = levelMem
 	}
 	return sched + c.p.LSQStages + lat
 }
@@ -852,19 +883,23 @@ func (c *Core) memLatency(e *robEntry) int {
 // dispatch moves up to Width front-end instructions into the backend.
 func (c *Core) dispatch() bool {
 	n := 0
+	c.dispBlock = dispNone
 	for n < c.p.Width && c.fqHead < c.fqTail {
 		f := &c.fetchQ[c.fqHead&c.fqMask]
 		if f.readyAt > c.cycle {
 			break
 		}
 		if c.tail-c.head >= uint64(c.p.ROBSize) {
+			c.dispBlock = dispROB
 			break // ROB full
 		}
 		if c.iqCount >= c.p.IQSize {
+			c.dispBlock = dispIQ
 			break // IQ full
 		}
 		isMem := f.op == workload.OpLoad || f.op == workload.OpStore
 		if isMem && c.lsqCount >= c.p.LSQSize {
+			c.dispBlock = dispLSQ
 			break // LSQ full
 		}
 		c.tail++

@@ -18,6 +18,7 @@ import (
 	"xpscalar/internal/core"
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/explore"
+	"xpscalar/internal/introspect"
 	"xpscalar/internal/power"
 	"xpscalar/internal/regression"
 	"xpscalar/internal/sim"
@@ -94,6 +95,17 @@ func (s *Session) ResetStats() { s.engine.ResetStats() }
 // EnableTelemetry registers the session engine's counters and histograms
 // with a metrics registry.
 func (s *Session) EnableTelemetry(reg *telemetry.Registry) { s.engine.EnableTelemetry(reg) }
+
+// EnableIntrospection arms CPI-stack accounting — and, with a non-nil
+// ring and positive interval, interval sampling — on the session engine's
+// uncached simulations.
+func (s *Session) EnableIntrospection(interval int, ring *introspect.Ring) {
+	s.engine.EnableIntrospection(interval, ring)
+}
+
+// DisableIntrospection returns the session's simulations to the
+// accounting-off fast path.
+func (s *Session) DisableIntrospection() { s.engine.DisableIntrospection() }
 
 // SetEvalObserver installs (or, with nil, removes) the per-request
 // evaluation observer on the session's engine.

@@ -1,0 +1,268 @@
+// Introspection at the sim layer: the Runner/MultiRunner contract over
+// pipeline's CPI accounting and interval sampling. The kernel-level
+// invariants (stack sums, bit-identity, lane equality) are proven in
+// internal/pipeline; here the claims are about the reusable runners —
+// armed runs dump deterministic JSONL, lockstep lanes tap the same
+// records a scalar runner does, and disarming returns a pooled runner to
+// the allocation-free fast path.
+
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"xpscalar/internal/introspect"
+	"xpscalar/internal/pipeline"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/timing"
+	"xpscalar/internal/workload"
+)
+
+// introspectedRun drives one armed scalar evaluation into a fresh ring.
+func introspectedRun(t *testing.T, cfg Config, name string, n, every int) (Result, []introspect.Record) {
+	t.Helper()
+	tp := tech.Default()
+	prof, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.NewTraceReaderFrom(gen, n)
+
+	ring := introspect.NewRing(1 << 12)
+	tap := &introspect.Tap{}
+	tap.Init(ring, name, cfg.String(), 0)
+	var r Runner
+	r.Introspect(&pipeline.Introspection{Interval: every, Recorder: tap})
+	res, err := r.RunSource(cfg, tr, name, n, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d records", ring.Dropped())
+	}
+	return res, ring.Records()
+}
+
+// Two armed runs of the same evaluation must serialize byte-identical
+// JSONL — the determinism the xptrace intervals view and its golden tests
+// stand on.
+func TestRunnerIntervalDumpDeterminism(t *testing.T) {
+	cfg := InitialConfig(tech.Default())
+	dump := func() []byte {
+		res, recs := introspectedRun(t, cfg, "gzip", 6000, 500)
+		if len(recs) == 0 {
+			t.Fatal("no interval records")
+		}
+		if got := res.CPI.Cycles(); got != res.Result.Cycles {
+			t.Fatalf("CPI stack sums to %d, result has %d cycles", got, res.Result.Cycles)
+		}
+		var buf bytes.Buffer
+		if err := introspect.WriteJSONL(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Errorf("interval dumps differ between identical runs:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// A lockstep group's taps must record exactly what per-lane scalar runs
+// record — same labels, same sequence, same counters — and each lane's
+// Result.CPI must match its scalar twin.
+func TestLockstepIntervalTapsMatchScalar(t *testing.T) {
+	tp := tech.Default()
+	base := InitialConfig(tp)
+	narrow := base
+	narrow.Width, narrow.ROBSize, narrow.IQSize, narrow.LSQSize = 1, 32, 16, 16
+	small := base
+	small.L1D = timing.CacheGeom{Sets: 64, Assoc: 1, BlockBytes: 32}
+	cfgs := []Config{base, narrow, small}
+	const name, n, every = "mcf", 6000, 750
+	prof, _ := workload.ByName(name)
+
+	// Scalar reference: one armed run per configuration, lane label j so
+	// the records compare against the lockstep taps field for field.
+	var want []introspect.Record
+	wantCPI := make([]pipeline.CPIStack, len(cfgs))
+	for j, cfg := range cfgs {
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := workload.NewTraceReaderFrom(gen, n)
+		ring := introspect.NewRing(1 << 12)
+		tap := &introspect.Tap{}
+		tap.Init(ring, name, cfg.String(), j)
+		var r Runner
+		r.Introspect(&pipeline.Introspection{Interval: every, Recorder: tap})
+		res, err := r.RunSource(cfg, tr, name, n, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCPI[j] = res.CPI
+		want = append(want, ring.Records()...)
+	}
+
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.NewTraceReaderFrom(gen, n)
+	ring := introspect.NewRing(1 << 12)
+	recs := make([]pipeline.IntervalRecorder, len(cfgs))
+	for j := range cfgs {
+		tap := &introspect.Tap{}
+		tap.Init(ring, name, cfgs[j].String(), j)
+		recs[j] = tap
+	}
+	var mr MultiRunner
+	mr.SetIntrospection(every, recs)
+	dst := make([]Result, len(cfgs))
+	if err := mr.RunSource(dst, cfgs, tr, name, n, tp); err != nil {
+		t.Fatal(err)
+	}
+
+	for j := range cfgs {
+		if dst[j].CPI != wantCPI[j] {
+			t.Errorf("lane %d CPI stack diverged from scalar:\n got  %v\nwant %v", j, dst[j].CPI, wantCPI[j])
+		}
+	}
+	got := ring.Records()
+	if len(got) != len(want) {
+		t.Fatalf("lockstep taps recorded %d records, scalar %d", len(got), len(want))
+	}
+	// Lockstep interleaves lanes at each boundary; compare per-lane
+	// subsequences, which must match the scalar runs exactly.
+	byLane := func(rs []introspect.Record, lane int) []introspect.Record {
+		var out []introspect.Record
+		for _, r := range rs {
+			if r.Lane == lane {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for j := range cfgs {
+		g, w := byLane(got, j), byLane(want, j)
+		if len(g) != len(w) {
+			t.Fatalf("lane %d: %d lockstep records vs %d scalar", j, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Errorf("lane %d record %d diverged:\n got  %+v\nwant %+v", j, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// Disarming introspection must return a pooled runner to the zero-alloc
+// steady state with bit-identical results — the contract that lets the
+// evaluation engine arm and disarm pooled runners freely.
+func TestRunnerIntrospectionOffAllocs(t *testing.T) {
+	tp := tech.Default()
+	cfg := InitialConfig(tp)
+	prof, _ := workload.ByName("gzip")
+	const n = 5000
+
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.NewTraceReaderFrom(gen, n)
+
+	var r Runner
+	baseline, err := r.RunSource(cfg, tr, "gzip", n, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm with sampling for one run, then disarm.
+	ring := introspect.NewRing(64)
+	tap := &introspect.Tap{}
+	tap.Init(ring, "gzip", cfg.String(), 0)
+	r.Introspect(&pipeline.Introspection{Interval: 1000, Recorder: tap})
+	tr.Reset()
+	armed, err := r.RunSource(cfg, tr, "gzip", n, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.Result != baseline.Result {
+		t.Errorf("armed run diverged:\n got  %#v\nwant %#v", armed.Result, baseline.Result)
+	}
+	r.Introspect(nil)
+
+	avg := testing.AllocsPerRun(10, func() {
+		tr.Reset()
+		res, err := r.RunSource(cfg, tr, "gzip", n, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Result != baseline.Result {
+			t.Fatal("disarmed run diverged from baseline")
+		}
+		if res.CPI != (pipeline.CPIStack{}) {
+			t.Fatal("disarmed run reported a CPI stack")
+		}
+	})
+	if avg > 2 {
+		t.Errorf("disarmed runner allocates %.1f times per run, want ~0", avg)
+	}
+}
+
+// benchIntrospection shares the BenchmarkRunnerSteadyState harness so the
+// off/on pair reads directly against the uninstrumented number.
+func benchIntrospection(b *testing.B, intro *pipeline.Introspection, ring *introspect.Ring) {
+	tp := tech.Default()
+	cfg := InitialConfig(tp)
+	prof, _ := workload.ByName("gzip")
+	const n = 20000
+
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := workload.NewTraceReaderFrom(gen, n)
+	var r Runner
+	r.Introspect(intro)
+	if _, err := r.RunSource(cfg, tr, "gzip", n, tp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring != nil {
+			ring.Reset()
+		}
+		tr.Reset()
+		if _, err := r.RunSource(cfg, tr, "gzip", n, tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/instr")
+}
+
+// BenchmarkRunnerIntrospectionOff is BenchmarkRunnerSteadyState with the
+// introspection hook explicitly disarmed — the number that must not move
+// relative to the steady-state baseline, recorded in BENCH_kernel.json so
+// the bench-compare gate holds the line.
+func BenchmarkRunnerIntrospectionOff(b *testing.B) {
+	benchIntrospection(b, nil, nil)
+}
+
+// BenchmarkRunnerIntrospectionOn prices full introspection: every cycle
+// classified into a CPI bucket plus interval snapshots every 1000
+// committed instructions into a ring.
+func BenchmarkRunnerIntrospectionOn(b *testing.B) {
+	ring := introspect.NewRing(1 << 10)
+	tap := &introspect.Tap{}
+	tap.Init(ring, "gzip", "bench", 0)
+	benchIntrospection(b, &pipeline.Introspection{Interval: 1000, Recorder: tap}, ring)
+}

@@ -129,7 +129,17 @@ func (r *MultiRunner) RunSource(dst []Result, cs []Config, src workload.Source, 
 		return fmt.Errorf("sim: lockstep: %w", err)
 	}
 	for i := range cs {
-		dst[i] = Result{Config: cs[i], Workload: name, Result: out[i]}
+		dst[i] = Result{Config: cs[i], Workload: name, Result: out[i], CPI: r.multi.LaneCPI(i)}
 	}
 	return nil
 }
+
+// SetIntrospection arms CPI-stack accounting (and, with a positive
+// interval and recorders, interval sampling) on every lane of subsequent
+// runs; see pipeline.MultiCore.SetIntrospection. Sticky across runs.
+func (r *MultiRunner) SetIntrospection(interval int, recs []pipeline.IntervalRecorder) {
+	r.multi.SetIntrospection(interval, recs)
+}
+
+// DisableIntrospection disarms introspection for subsequent runs.
+func (r *MultiRunner) DisableIntrospection() { r.multi.DisableIntrospection() }

@@ -185,6 +185,10 @@ type Result struct {
 	Config   Config
 	Workload string
 	pipeline.Result
+	// CPI is the run's CPI-stack decomposition — per-bucket cycle counts
+	// summing exactly to Cycles — populated only when introspection was
+	// armed on the runner (all zeros otherwise).
+	CPI pipeline.CPIStack
 }
 
 // IPT is the paper's figure of merit: committed instructions per nanosecond
@@ -270,5 +274,10 @@ func (r *Runner) RunSource(c Config, src workload.Source, name string, n int, t 
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Config: c, Workload: name, Result: res}, nil
+	return Result{Config: c, Workload: name, Result: res, CPI: r.core.LastCPI()}, nil
 }
+
+// Introspect arms (or, with nil, disarms) CPI-stack accounting and
+// interval sampling on this runner's core; see pipeline.Introspection.
+// Sticky across runs, like the rest of the runner's scratch state.
+func (r *Runner) Introspect(intro *pipeline.Introspection) { r.core.SetIntrospection(intro) }

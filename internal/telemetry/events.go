@@ -86,7 +86,14 @@ type Evaluation struct {
 	WallNs   int64   `json:"wall_ns,omitempty"`
 	Score    float64 `json:"score,omitempty"`
 	IPT      float64 `json:"ipt,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	// Config is the evaluated configuration's canonical string form.
+	Config string `json:"config,omitempty"`
+	// CPI is the evaluation's CPI-stack decomposition (bucket name →
+	// cycles), present when the simulation ran with introspection armed.
+	// Go's encoder emits map keys sorted, so the rendering is
+	// deterministic.
+	CPI   map[string]uint64 `json:"cpi,omitempty"`
+	Error string            `json:"error,omitempty"`
 }
 
 // Kind implements Event.

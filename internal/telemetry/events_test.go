@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -17,7 +18,8 @@ func TestSinkRoundTrip(t *testing.T) {
 		AnnealStep{Workload: "gzip", Chain: 1, Iteration: 7, TotalIterations: 300, Move: "clock",
 			Temperature: 0.8, Budget: 20000, Score: 1.2, CurrentScore: 1.2, BestScore: 1.3,
 			Feasible: true, Accepted: true},
-		Evaluation{Workload: "gzip", Budget: 20000, Outcome: "miss", WallNs: 1234567, Score: 1.2, IPT: 1.2},
+		Evaluation{Workload: "gzip", Budget: 20000, Outcome: "miss", WallNs: 1234567, Score: 1.2, IPT: 1.2,
+			Config: "clk=0.33ns w=3", CPI: map[string]uint64{"base": 14000, "load_mem": 6000}},
 		MatrixCell{Workload: "gzip", Arch: "vpr", Budget: 60000, IPT: 0.97},
 		ChainResult{Workload: "gzip", Chain: 1, BestScore: 1.3, BestIPT: 1.3, Evaluations: 301},
 		RunSummary{WallNs: 5e9, Requests: 100, Hits: 40, Deduped: 10, Misses: 50, CacheEntries: 50},
@@ -58,7 +60,7 @@ func TestSinkRoundTrip(t *testing.T) {
 			}
 		case Evaluation:
 			got := *decoded.(*Evaluation)
-			if got != want {
+			if !reflect.DeepEqual(got, want) { // CPI map forbids ==
 				t.Errorf("evaluation round-trip: got %+v, want %+v", got, want)
 			}
 		case MatrixCell:
