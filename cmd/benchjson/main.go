@@ -37,14 +37,17 @@ import (
 
 // suite is the kernel benchmark set: the macro annealing chain, the
 // sim-level evaluation, the raw pipeline loop, the steady-state
-// reusable-runner path that the evaluation engine rides, and the N=8
-// lockstep kernel that batched evaluations amortize the stream over.
+// reusable-runner path that the evaluation engine rides, the N=8
+// lockstep kernel that batched evaluations amortize the stream over,
+// and the persistent tier's disk-hit path (read + decode + verify of
+// one on-disk evaluation record).
 var suite = []struct {
 	pkg     string
 	pattern string
 }{
 	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner|BenchmarkRunnerIntrospection"},
 	{"./internal/pipeline", "BenchmarkPipelineGCC"},
+	{"./internal/evalstore", "BenchmarkEvalDiskHit"},
 	{".", "BenchmarkAnnealChainKernel"},
 }
 

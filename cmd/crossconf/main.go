@@ -7,7 +7,8 @@
 // Usage:
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
-//	          [-lockstep=false] [-timeout d] [-evalstats] [-trace file] [-metrics-addr addr] [-progress]
+//	          [-lockstep=false] [-timeout d] [-evalstats] [-cache-dir dir]
+//	          [-trace file] [-metrics-addr addr] [-progress]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // Matrices go to stdout; diagnostics go to stderr. With -source sim, -trace
@@ -52,6 +53,8 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var ccfg cli.CacheConfig
+	ccfg.RegisterFlags()
 	var lcfg cli.LogConfig
 	lcfg.RegisterFlags()
 	flag.Parse()
@@ -72,8 +75,12 @@ func run(ctx context.Context) error {
 		}
 	}()
 
+	backend, err := ccfg.Open()
+	if err != nil {
+		return err
+	}
 	sess := session.New(session.Options{
-		Engine: evalengine.Options{DisableLockstep: !*lockstep},
+		Engine: evalengine.Options{DisableLockstep: !*lockstep, Backend: backend},
 	})
 	tel, err := cli.StartTelemetry("crossconf", sess, tcfg)
 	defer func() {

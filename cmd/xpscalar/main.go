@@ -8,7 +8,7 @@
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
 //	         [-neighborhood k] [-lockstep=false] [-timeout d] [-evalstats]
-//	         [-trace file] [-spans file] [-metrics-addr addr]
+//	         [-cache-dir dir] [-trace file] [-spans file] [-metrics-addr addr]
 //	         [-progress] [-log-level l] [-log-format text|json]
 //	         [-cpuprofile file] [-memprofile file]
 //
@@ -24,6 +24,11 @@
 // -neighborhood k with k >= 2 widens each annealing step to a best-of-k
 // proposal evaluated as one batch — a different (often better) search
 // trajectory, so it changes the outcomes, unlike -lockstep.
+//
+// -cache-dir dir persists every evaluation to a content-addressed store in
+// dir; a rerun (same flags, same seed) over the same directory replays
+// from disk instead of simulating, bit-identically — check with -evalstats
+// (sims drop to zero) or xptrace diff (clean against the cold run).
 //
 // The run is interruptible: Ctrl-C (or -timeout expiry) stops the search
 // at the next annealing iteration, prints the outcomes of the workloads
@@ -74,6 +79,8 @@ func run(ctx context.Context) error {
 	rcfg.RegisterFlags()
 	var tcfg cli.TelemetryConfig
 	tcfg.RegisterFlags()
+	var ccfg cli.CacheConfig
+	ccfg.RegisterFlags()
 	var lcfg cli.LogConfig
 	lcfg.RegisterFlags()
 	flag.Parse()
@@ -84,8 +91,12 @@ func run(ctx context.Context) error {
 	ctx, stop := rcfg.Context(ctx)
 	defer stop()
 
+	backend, err := ccfg.Open()
+	if err != nil {
+		return err
+	}
 	sess := session.New(session.Options{
-		Engine: evalengine.Options{DisableLockstep: !*lockstep},
+		Engine: evalengine.Options{DisableLockstep: !*lockstep, Backend: backend},
 	})
 	tel, err := cli.StartTelemetry("xpscalar", sess, tcfg)
 	defer func() {

@@ -141,3 +141,67 @@ func TestInterruptGracefulShutdown(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmStartFromCacheDir: two identical runs over one -cache-dir. The
+// second process simulates nothing — its trace summary shows zero misses
+// and only disk hits — and prints the byte-identical Table 4, proving the
+// persistent tier changes cost, never results.
+func TestWarmStartFromCacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary twice")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	run := func(trace string) string {
+		cmd := exec.Command(bin,
+			"-workload", "gzip", "-iterations", "3", "-chains", "1",
+			"-short", "1000", "-long", "1000",
+			"-cache-dir", cacheDir, "-trace", filepath.Join(dir, trace))
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, stderr.Bytes())
+		}
+		return stdout.String()
+	}
+	summary := func(trace string) *telemetry.RunSummary {
+		f, err := os.Open(filepath.Join(dir, trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		events, err := telemetry.ReadEvents(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last, err := events[len(events)-1].Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := last.(*telemetry.RunSummary)
+		if !ok {
+			t.Fatalf("trace %s does not end in a summary", trace)
+		}
+		return s
+	}
+
+	cold := run("cold.jsonl")
+	warm := run("warm.jsonl")
+	if cold != warm {
+		t.Fatalf("warm-started run printed a different Table 4:\n%s\nvs\n%s", cold, warm)
+	}
+	cs := summary("cold.jsonl")
+	if cs.Misses == 0 || cs.DiskHits != 0 {
+		t.Fatalf("cold summary %+v, want simulations and no disk hits", cs)
+	}
+	ws := summary("warm.jsonl")
+	if ws.Misses != 0 {
+		t.Fatalf("warm run simulated %d points, want 0 (served from disk): %+v", ws.Misses, ws)
+	}
+	if ws.DiskHits == 0 {
+		t.Fatalf("warm summary %+v, want disk hits", ws)
+	}
+}

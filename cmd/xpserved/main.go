@@ -1,0 +1,128 @@
+// Command xpserved serves the design-space exploration as a service: an
+// HTTP/JSON job API (see internal/xpserve) over one shared evaluation
+// session with a two-tier — in-memory plus content-addressed on-disk —
+// evaluation cache. Every tenant's jobs share the cache, so work any
+// client has paid for is never simulated again, across jobs and (with
+// -cache-dir) across server restarts.
+//
+// Usage:
+//
+//	xpserved [-addr host:port] [-addr-file file] [-cache-dir dir]
+//	         [-max-jobs n] [-backlog n] [-lockstep=false]
+//	         [-log-level l] [-log-format text|json]
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job: {"kind": "explore"|"matrix"|"subsetting", ...}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status (+ result once done)
+//	GET    /v1/jobs/{id}/events tail the job's JSONL telemetry (curl -N)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus metrics (engine + disk tier + job gauges)
+//	GET    /healthz, /buildinfo, /debug/pprof/...
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight jobs are cancelled,
+// their clients' event streams end, and the disk tier is flushed before
+// the process exits. -addr-file writes the bound address (useful with
+// -addr 127.0.0.1:0) for scripts and tests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/session"
+	"xpscalar/internal/telemetry"
+	"xpscalar/internal/xpserve"
+)
+
+func main() {
+	os.Exit(cli.Main(run))
+}
+
+func run(ctx context.Context) error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		maxJobs  = flag.Int("max-jobs", 2, "jobs running concurrently")
+		backlog  = flag.Int("backlog", 16, "queued jobs accepted beyond the running ones")
+		lockstep = flag.Bool("lockstep", true, "simulate grouped cache misses in lockstep over a shared instruction stream")
+	)
+	var rcfg cli.RunConfig
+	rcfg.RegisterFlags()
+	var ccfg cli.CacheConfig
+	ccfg.RegisterFlags()
+	var lcfg cli.LogConfig
+	lcfg.RegisterFlags()
+	flag.Parse()
+	if err := lcfg.Setup("xpserved"); err != nil {
+		return err
+	}
+
+	ctx, stop := rcfg.Context(ctx)
+	defer stop()
+
+	backend, err := ccfg.Open()
+	if err != nil {
+		return err
+	}
+	sess := session.New(session.Options{
+		Engine: evalengine.Options{DisableLockstep: !*lockstep, Backend: backend},
+	})
+	// Last out: by the time this runs the scheduler has drained, so every
+	// evaluation any job computed is flushed to the disk tier.
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			slog.Error("cache store close", "err", cerr)
+		}
+	}()
+
+	reg := telemetry.NewRegistry()
+	sess.EnableTelemetry(reg)
+	sched := xpserve.New(sess, xpserve.Options{MaxJobs: *maxJobs, Backlog: *backlog})
+	sched.EnableTelemetry(reg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o666); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: sched.Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	slog.Info("xpserved serving", "addr", ln.Addr().String(),
+		"max_jobs", *maxJobs, "backlog", *backlog, "cache_dir", ccfg.Dir)
+
+	select {
+	case <-ctx.Done():
+		slog.Info("shutting down", "reason", ctx.Err())
+		// Cancel the jobs first: that ends the event streams, so the
+		// server's graceful Shutdown isn't held open by tailing clients.
+		sched.Shutdown()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return err
+		}
+		slog.Info("drained", "stats", sess.Stats().String())
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

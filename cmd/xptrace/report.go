@@ -205,11 +205,11 @@ func printCacheTimeline(t *trace) {
 			b = buckets - 1
 		}
 		total[b]++
-		if e.Outcome == "hit" || e.Outcome == "dedup" {
+		if e.Outcome == "hit" || e.Outcome == "dedup" || e.Outcome == "disk" {
 			served[b]++
 		}
 	}
-	fmt.Println("\nCache effectiveness over run time (hit+dedup rate)")
+	fmt.Println("\nCache effectiveness over run time (hit+dedup+disk rate)")
 	fmt.Print("  time:    ")
 	for b := 0; b < buckets; b++ {
 		fmt.Printf(" %5d%%", (b+1)*100/buckets)
@@ -233,6 +233,9 @@ func printSummary(t *trace) {
 	}
 	fmt.Printf("\nRun summary: wall %.2fs, %d evaluations (%d hits, %d deduped, %d misses), %d cache entries\n",
 		float64(s.WallNs)/1e9, s.Requests, s.Hits, s.Deduped, s.Misses, s.CacheEntries)
+	if s.DiskHits > 0 || s.DiskMisses > 0 {
+		fmt.Printf("Disk tier: %d hits, %d misses\n", s.DiskHits, s.DiskMisses)
+	}
 	if s.LockstepGroups > 0 || s.ScalarFallbacks > 0 {
 		avg := 0.0
 		if s.LockstepGroups > 0 {

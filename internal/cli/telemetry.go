@@ -255,6 +255,24 @@ func (o sinkExploreObserver) ObserveChain(e explore.ChainEvent) {
 	})
 }
 
+// SinkExploreObserver adapts a trace sink into an explore.Observer: every
+// annealing step and chain completion is emitted as a trace event. This is
+// the per-call seam services use to give each job its own event stream —
+// unlike the engine-level eval observer, it is scoped to one exploration,
+// not shared session-wide.
+func SinkExploreObserver(s *telemetry.Sink) explore.Observer {
+	return sinkExploreObserver{s}
+}
+
+// SinkCellFunc adapts a trace sink into a matrix-cell callback for
+// core.BuildMatrixObserved, the per-call analogue of SinkExploreObserver
+// for matrix jobs.
+func SinkCellFunc(s *telemetry.Sink) core.CellFunc {
+	return func(workload, arch string, budget int, ipt float64) {
+		s.Emit(telemetry.MatrixCell{Workload: workload, Arch: arch, Budget: budget, IPT: ipt})
+	}
+}
+
 // ExploreObserver returns the observer to install on explore.Options, or
 // nil when neither tracing nor progress is on.
 func (t *Telemetry) ExploreObserver() explore.Observer {
@@ -286,15 +304,23 @@ func (t *Telemetry) CellFunc() core.CellFunc {
 	}
 }
 
-// Close emits the run summary, detaches the engine observer, and shuts the
-// sink and metrics server down. Safe on a nil or inert Telemetry, and
-// safe to call on the interrupt path: everything buffered is flushed
-// before the process decides its exit code.
-func (t *Telemetry) Close() error {
+// Close emits the run summary, detaches the engine observer, shuts the
+// sink and metrics server down, and closes the session — flushing its
+// persistent cache tier, when one is configured, so every evaluation the
+// run paid for is durable before the process exits. Safe on a nil or
+// inert Telemetry, and safe to call on the interrupt path: everything
+// buffered is flushed before the process decides its exit code.
+func (t *Telemetry) Close() (firstErr error) {
 	if t == nil {
 		return nil
 	}
-	var firstErr error
+	if t.sess != nil {
+		defer func() {
+			if err := t.sess.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cache store: %w", err)
+			}
+		}()
+	}
 	if t.sink != nil {
 		t.sess.SetEvalObserver(nil)
 		s := t.sess.Stats()
@@ -309,6 +335,8 @@ func (t *Telemetry) Close() error {
 			LockstepGroups:  s.LockstepGroups,
 			LockstepLanes:   s.LockstepLanes,
 			ScalarFallbacks: s.ScalarFallbacks,
+			DiskHits:        s.DiskHits,
+			DiskMisses:      s.DiskMisses,
 		})
 		n := t.sink.Events()
 		if err := t.sink.Close(); err != nil {

@@ -28,15 +28,16 @@ import (
 // batchClaim is one member's memo-cache classification inside a batch.
 type batchClaim struct {
 	entry   *memoEntry
-	outcome string // "hit", "dedup", or "miss" (this call owns the entry)
+	key     Key
+	outcome string // "hit", "dedup", "disk", or "miss" (this call owns the entry)
 }
 
 // EvaluateBatch evaluates every configuration in cfgs against one
 // (workload, budget, technology, objective) tuple — the grouping callers
 // already have in hand — writing dst[i] for cfgs[i]. Cache semantics are
 // identical to len(cfgs) Evaluate calls: each member counts as a request
-// and is served as a hit, an in-flight join, or a miss, and every miss is
-// memoized (errors included) for future callers. What changes is how the
+// and is served as a hit, an in-flight join, a persistent-tier hit, or a
+// miss, and every miss is memoized (errors included) for future callers. What changes is how the
 // misses run: two or more valid missing configurations become one lockstep
 // group sharing a single replay of the workload's stream; a lone miss, an
 // invalid configuration, or a group that fails at the lockstep layer runs
@@ -67,19 +68,34 @@ func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Confi
 	// Classify every member against the memo cache. Duplicate
 	// configurations within the batch resolve naturally: the first claims
 	// the miss, the rest join it as dedups and are served once the owned
-	// simulations below have closed their entries.
+	// simulations below have closed their entries. Claimed misses read
+	// through the persistent tier before joining a simulation group: a
+	// disk hit resolves the entry on the spot (promoting the record into
+	// the memory LRU) and never occupies a lockstep lane.
 	e.requests.Add(uint64(k))
+	be := e.tier()
 	claims := make([]batchClaim, k)
 	var lanes, scalars []int // miss indices: lockstep-eligible vs not
 	for i := range cfgs {
-		me, outcome := e.claim(Fingerprint(cfgs[i], p, budget, t, obj))
-		claims[i] = batchClaim{entry: me, outcome: outcome}
+		key := KeyOf(cfgs[i], p, budget, t, obj)
+		me, outcome := e.claim(key)
+		claims[i] = batchClaim{entry: me, key: key, outcome: outcome}
 		switch outcome {
 		case "hit":
 			e.hits.Add(1)
 		case "dedup":
 			e.deduped.Add(1)
 		case "miss":
+			if be != nil {
+				if val, ok := be.Get(key); ok {
+					e.diskHits.Add(1)
+					me.val = val
+					close(me.ready)
+					claims[i].outcome = "disk"
+					continue
+				}
+				e.diskMisses.Add(1)
+			}
 			e.misses.Add(1)
 			if !e.lockstepOff && cfgs[i].Validate(t) == nil {
 				lanes = append(lanes, i)
@@ -116,6 +132,17 @@ func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Confi
 			}
 			if obs != nil {
 				(*obs).ObserveEval(record(p.Name, budget, "miss", wall.Nanoseconds(), me.val, me.err))
+			}
+		}
+	}
+
+	// Write-behind: every successful simulation this call owned goes to
+	// the persistent tier. Disk-served members are already durable, and
+	// errors are never persisted.
+	if be != nil {
+		for i := range claims {
+			if claims[i].outcome == "miss" && claims[i].entry.err == nil {
+				be.Put(claims[i].key, claims[i].entry.val)
 			}
 		}
 	}

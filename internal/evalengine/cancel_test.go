@@ -122,7 +122,7 @@ func TestDedupWaiterCancellation(t *testing.T) {
 	eng := New(Options{})
 
 	// Plant an in-flight entry by hand: inserted, not yet computed.
-	key := Fingerprint(cfg, p, 5000, tp, power.ObjIPT)
+	key := KeyOf(cfg, p, 5000, tp, power.ObjIPT)
 	sh := eng.shard(key)
 	me := &memoEntry{key: key, ready: make(chan struct{})}
 	sh.mu.Lock()

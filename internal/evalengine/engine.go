@@ -19,7 +19,6 @@ import (
 	"container/list"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +59,49 @@ type Options struct {
 	// lockstep run. Results are bit-identical either way; the switch exists
 	// for A/B measurement and as an escape hatch.
 	DisableLockstep bool
+	// Backend, when non-nil, is a second cache tier behind the in-memory
+	// LRU (typically internal/evalstore's content-addressed disk store).
+	// Memory-tier misses read through it before simulating, and fresh
+	// results are written behind to it, so evaluations survive process
+	// restarts and are shared across sessions. The engine owns the
+	// backend's lifecycle from here on: Engine.Close flushes and closes it.
+	Backend CacheBackend
+}
+
+// CacheBackend is a second, slower cache tier composed behind the engine's
+// sharded in-memory LRU: the memory tier absorbs the hot working set and
+// singleflight dedup, the backend makes results durable. Implementations
+// must be safe for concurrent use; pool workers call Get and Put
+// concurrently. A backend is errorless by design at the call sites — an
+// implementation that fails internally must report a miss (Get) or count
+// the error (Put) rather than failing the evaluation; Flush and Close
+// surface the sticky error.
+type CacheBackend interface {
+	// Get returns the evaluation stored under key, if any. Corrupt or
+	// unreadable entries are a miss, never an error.
+	Get(key Key) (Eval, bool)
+	// Put stores a successful evaluation under key. Implementations may
+	// write asynchronously (write-behind); Flush forces completion.
+	Put(key Key, val Eval)
+	// Flush blocks until every accepted Put is durable.
+	Flush() error
+	// Close flushes and releases the backend.
+	Close() error
+	// Stats snapshots the backend's counters.
+	Stats() BackendStats
+}
+
+// BackendStats is a snapshot of a cache backend's counters, surfaced
+// through the engine's Stats so one -evalstats line covers both tiers.
+type BackendStats struct {
+	// Entries is the number of records currently stored.
+	Entries uint64
+	// Writes counts records made durable; WriteErrors the Puts that
+	// failed (the entry is simply not persisted — never an eval failure).
+	Writes, WriteErrors uint64
+	// Quarantined counts corrupt records moved aside (and served as
+	// misses) instead of failing reads.
+	Quarantined uint64
 }
 
 const (
@@ -86,11 +128,24 @@ type Engine struct {
 	// lockstepOff mirrors Options.DisableLockstep.
 	lockstepOff bool
 
+	// backend is the optional persistent tier (nil when the engine is
+	// memory-only). Held behind an atomic pointer so Close can detach it
+	// race-free while evaluations are in flight: a detached engine keeps
+	// serving from the memory tier.
+	backend atomic.Pointer[backendRef]
+
 	requests atomic.Uint64
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	deduped  atomic.Uint64
 	evicted  atomic.Uint64
+
+	// Disk-tier accounting: memory-tier misses served by the backend
+	// (diskHits — the entry is promoted into the memory LRU on the way
+	// through), and memory-tier misses the backend also missed (diskMisses
+	// — the request went on to simulate).
+	diskHits   atomic.Uint64
+	diskMisses atomic.Uint64
 
 	// Lockstep accounting: groups run, lanes they carried, and groups that
 	// fell back to scalar simulation after a lockstep error.
@@ -119,6 +174,40 @@ type Engine struct {
 type introCfg struct {
 	interval int
 	ring     *introspect.Ring
+}
+
+// backendRef boxes the CacheBackend interface value so it can live in an
+// atomic.Pointer.
+type backendRef struct{ be CacheBackend }
+
+// tier returns the persistent backend, or nil when the engine is
+// memory-only (none configured, or Close already detached it).
+func (e *Engine) tier() CacheBackend {
+	if ref := e.backend.Load(); ref != nil {
+		return ref.be
+	}
+	return nil
+}
+
+// Flush blocks until every result handed to the persistent tier is
+// durable. A no-op on a memory-only engine.
+func (e *Engine) Flush() error {
+	if be := e.tier(); be != nil {
+		return be.Flush()
+	}
+	return nil
+}
+
+// Close detaches and closes the persistent tier, flushing write-behind
+// entries first. The engine itself stays usable — it simply becomes
+// memory-only — so Close is safe on the shutdown path while late
+// evaluations drain. Idempotent; a memory-only engine returns nil.
+func (e *Engine) Close() error {
+	ref := e.backend.Swap(nil)
+	if ref == nil {
+		return nil
+	}
+	return ref.be.Close()
 }
 
 // EnableIntrospection arms CPI-stack accounting for every subsequent
@@ -171,8 +260,9 @@ func (ic *introCfg) introspection(workload, config string, lane int) *pipeline.I
 type EvalRecord struct {
 	Workload string
 	Budget   int
-	// Outcome is "hit" (served from a completed cache entry), "dedup"
-	// (joined an in-flight simulation) or "miss" (ran one).
+	// Outcome is "hit" (served from a completed memory-tier entry),
+	// "dedup" (joined an in-flight simulation), "disk" (served from the
+	// persistent tier) or "miss" (ran a simulation).
 	Outcome string
 	// WallNs is the simulation wall time; zero except on misses.
 	WallNs int64
@@ -222,6 +312,38 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
 		func() float64 { return float64(e.misses.Load()) })
 	reg.Func("xpscalar_eval_cache_evictions_total", "memo entries dropped by the LRU bound", "counter",
 		func() float64 { return float64(e.evicted.Load()) })
+	reg.Func("xpscalar_eval_disk_hits_total", "memory-tier misses served from the persistent tier", "counter",
+		func() float64 { return float64(e.diskHits.Load()) })
+	reg.Func("xpscalar_eval_disk_misses_total", "memory-tier misses the persistent tier also missed", "counter",
+		func() float64 { return float64(e.diskMisses.Load()) })
+	reg.Func("xpscalar_eval_disk_entries", "evaluations held by the persistent tier", "gauge",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().Entries)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_disk_writes_total", "evaluations made durable by the persistent tier", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().Writes)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_disk_write_errors_total", "write-behind failures in the persistent tier", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().WriteErrors)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_disk_quarantined_total", "corrupt persistent-tier records moved to quarantine", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().Quarantined)
+			}
+			return 0
+		})
 	reg.Func("xpscalar_eval_cache_entries", "memoized evaluations currently cached", "gauge",
 		func() float64 { return float64(e.CacheEntries()) })
 	reg.Func("xpscalar_trace_instr_built_total", "instructions materialized by the trace store", "counter",
@@ -297,6 +419,9 @@ func New(o Options) *Engine {
 		pool:        NewPool(o.Workers),
 		lockstepOff: o.DisableLockstep,
 	}
+	if o.Backend != nil {
+		e.backend.Store(&backendRef{be: o.Backend})
+	}
 	e.runners.New = func() any { return new(sim.Runner) }
 	e.multis.New = func() any { return new(sim.MultiRunner) }
 	per := o.CacheEntries / o.Shards
@@ -305,7 +430,7 @@ func New(o Options) *Engine {
 	}
 	for i := range e.shards {
 		e.shards[i].cap = per
-		e.shards[i].entries = make(map[string]*list.Element)
+		e.shards[i].entries = make(map[Key]*list.Element)
 		e.shards[i].order = list.New()
 	}
 	return e
@@ -315,41 +440,40 @@ func New(o Options) *Engine {
 // simulation caller shares.
 func (e *Engine) Pool() *Pool { return e.pool }
 
-// Fingerprint canonically keys an evaluation request. Any change to any
-// field of the configuration, profile, technology, budget or objective
-// changes the fingerprint. The %#v verb is essential: unlike %v/%+v it
-// bypasses String() methods (sim.Config's String rounds the clock period
-// to two decimals, which would collide distinct configurations) and prints
-// floats at full shortest-round-trip precision, so the encoding is
-// collision-free over value-type structs and automatically covers fields
-// added later.
+// Fingerprint is the canonical preimage of an evaluation request's cache
+// identity (its Key is this string's SHA-256 digest; see key.go). Any
+// change to any field of the configuration, profile, technology, budget or
+// objective changes the fingerprint. The %#v verb is essential: unlike
+// %v/%+v it bypasses String() methods (sim.Config's String rounds the
+// clock period to two decimals, which would collide distinct
+// configurations) and prints floats at full shortest-round-trip precision,
+// so the encoding is collision-free over value-type structs and
+// automatically covers fields added later.
 func Fingerprint(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) string {
 	return fmt.Sprintf("cfg{%#v}|wl{%#v}|n=%d|tech{%#v}|obj=%d", cfg, p, budget, t, int(obj))
 }
 
 // cacheShard is one lock domain of the memo cache: an LRU-bounded map from
-// fingerprint to entry.
+// request key to entry.
 type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]*list.Element // values are *memoEntry
-	order   *list.List               // front = most recently used
+	entries map[Key]*list.Element // values are *memoEntry
+	order   *list.List            // front = most recently used
 }
 
 // memoEntry is one memoized (or in-flight) evaluation. ready is closed
 // when val/err are final; waiters hold the entry pointer directly, so LRU
 // eviction of an in-flight entry cannot strand them.
 type memoEntry struct {
-	key   string
+	key   Key
 	ready chan struct{}
 	val   Eval
 	err   error
 }
 
-func (e *Engine) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+func (e *Engine) shard(key Key) *cacheShard {
+	return &e.shards[key.shardIndex(len(e.shards))]
 }
 
 // claim looks up or inserts the memo entry for key and classifies the
@@ -357,7 +481,7 @@ func (e *Engine) shard(key string) *cacheShard {
 // existed; wait on its ready channel), or "miss" (the entry was inserted
 // here — the caller owns computing val/err and closing ready, and must do
 // so on every path or waiters hang forever).
-func (e *Engine) claim(key string) (*memoEntry, string) {
+func (e *Engine) claim(key Key) (*memoEntry, string) {
 	sh := e.shard(key)
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
@@ -407,7 +531,7 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	// here a single branch.
 	h := tracing.FromContext(ctx)
 	sp := h.Begin(tracing.KindEvalMiss, p.Name, int64(budget))
-	key := Fingerprint(cfg, p, budget, t, obj)
+	key := KeyOf(cfg, p, budget, t, obj)
 	me, outcome := e.claim(key)
 	if outcome != "miss" {
 		if outcome == "hit" {
@@ -433,6 +557,26 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 		return me.val, me.err
 	}
 
+	// Memory-tier miss: read through the persistent tier before paying for
+	// a simulation. A disk hit resolves the claimed entry — promoting the
+	// record into the memory LRU, where claim already inserted it — and is
+	// observable as its own outcome class.
+	be := e.tier()
+	if be != nil {
+		if val, ok := be.Get(key); ok {
+			e.diskHits.Add(1)
+			me.val = val
+			close(me.ready)
+			sp.Kind = tracing.KindEvalDisk
+			if obs != nil {
+				(*obs).ObserveEval(record(p.Name, budget, "disk", 0, me.val, nil))
+			}
+			h.End(sp)
+			return me.val, nil
+		}
+		e.diskMisses.Add(1)
+	}
+
 	e.misses.Add(1)
 	hist := e.simHist.Load()
 	var begin time.Time
@@ -441,6 +585,12 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	}
 	me.val, me.err = e.compute(h.WithParent(sp), cfg, p, budget, t, obj)
 	close(me.ready)
+	if me.err == nil && be != nil {
+		// Write-behind: hand the fresh result to the persistent tier.
+		// Errors are never persisted — they are memoized in memory for
+		// this process only, so a transient failure cannot outlive it.
+		be.Put(key, me.val)
+	}
 	if hist != nil || obs != nil {
 		wall := time.Since(begin)
 		if hist != nil {
@@ -530,6 +680,15 @@ type Stats struct {
 	// cache entries, Deduped joined an in-flight simulation, Misses ran
 	// one. Requests = Hits + Deduped + Misses.
 	Requests, Hits, Deduped, Misses uint64
+	// DiskHits counts memory-tier misses served by the persistent tier
+	// (each promoted into the memory LRU on the way through); DiskMisses
+	// the memory-tier misses the persistent tier also missed. Both stay
+	// zero on a memory-only engine. With a persistent tier,
+	// Requests = Hits + Deduped + DiskHits + Misses.
+	DiskHits, DiskMisses uint64
+	// Disk snapshots the persistent tier's own counters (entries held,
+	// write-behind completions and failures, quarantined records).
+	Disk BackendStats
 	// Evictions counts memo entries dropped by the LRU bound;
 	// CacheEntries is the current occupancy. Together they make LRU
 	// pressure visible: evictions climbing while entries sit at the bound
@@ -555,8 +714,9 @@ type Stats struct {
 }
 
 // Saved is the number of simulations avoided: requests answered without
-// running the pipeline from cycle zero.
-func (s Stats) Saved() uint64 { return s.Hits + s.Deduped }
+// running the pipeline from cycle zero (memory hits, in-flight joins, and
+// persistent-tier hits alike).
+func (s Stats) Saved() uint64 { return s.Hits + s.Deduped + s.DiskHits }
 
 // HitRate is the fraction of requests served without a fresh simulation.
 func (s Stats) HitRate() float64 {
@@ -567,19 +727,31 @@ func (s Stats) HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses, %d batch-served (%d calls), %d scalar-served; lockstep: %d groups, %d lanes, %d fallbacks",
+	base := fmt.Sprintf("evals=%d cached=%d dedup=%d sims=%d (%.1f%% saved) evictions=%d entries=%d trace: %d instr built, %d replays, %d bypasses, %d batch-served (%d calls), %d scalar-served; lockstep: %d groups, %d lanes, %d fallbacks",
 		s.Requests, s.Hits, s.Deduped, s.Misses, 100*s.HitRate(), s.Evictions, s.CacheEntries,
 		s.TraceInstr, s.TraceReplays, s.TraceBypasses, s.TraceBatchInstr, s.TraceBatchCalls, s.TraceScalarInstr,
 		s.LockstepGroups, s.LockstepLanes, s.ScalarFallbacks)
+	if s.DiskHits == 0 && s.DiskMisses == 0 && s.Disk == (BackendStats{}) {
+		return base
+	}
+	return base + fmt.Sprintf("; disk: %d hits, %d misses, %d entries, %d writes (%d errors), %d quarantined",
+		s.DiskHits, s.DiskMisses, s.Disk.Entries, s.Disk.Writes, s.Disk.WriteErrors, s.Disk.Quarantined)
 }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
+	var disk BackendStats
+	if be := e.tier(); be != nil {
+		disk = be.Stats()
+	}
 	return Stats{
 		Requests:         e.requests.Load(),
 		Hits:             e.hits.Load(),
 		Deduped:          e.deduped.Load(),
 		Misses:           e.misses.Load(),
+		DiskHits:         e.diskHits.Load(),
+		DiskMisses:       e.diskMisses.Load(),
+		Disk:             disk,
 		Evictions:        e.evicted.Load(),
 		CacheEntries:     uint64(e.CacheEntries()),
 		TraceInstr:       e.traces.built.Load(),
@@ -602,6 +774,8 @@ func (e *Engine) ResetStats() {
 	e.hits.Store(0)
 	e.deduped.Store(0)
 	e.misses.Store(0)
+	e.diskHits.Store(0)
+	e.diskMisses.Store(0)
 	e.evicted.Store(0)
 	e.traces.built.Store(0)
 	e.traces.replays.Store(0)

@@ -1,0 +1,64 @@
+// The cache identity of an evaluation request. The engine's original
+// identity was the raw %#v fingerprint string — correct, but an awkward
+// citizen the moment results leave process memory: multi-megabyte runs
+// carried full struct renderings as map keys, and the string is unusable
+// as an on-disk filename. Key keeps the %#v rendering as the *preimage*
+// (it is what makes the encoding collision-free over value-type structs)
+// and makes the *identity* its SHA-256 digest: fixed-size, stable across
+// processes and builds, safe as a content address in a persistent store,
+// and uniformly distributed so cache sharding and directory fanout both
+// fall out of the first bytes.
+
+package evalengine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"xpscalar/internal/power"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/workload"
+)
+
+// Key is the canonical identity of one evaluation request: the SHA-256
+// digest of the request's Fingerprint preimage. Two requests have equal
+// keys exactly when every field of (config, profile, budget, technology,
+// objective) is equal; the digest is stable across processes, so a Key
+// computed today addresses the same design point in any later run's
+// persistent store. The zero Key is not a valid identity.
+type Key [sha256.Size]byte
+
+// KeyOf derives the request's key: the SHA-256 digest of its canonical
+// %#v fingerprint (see Fingerprint for why that preimage is
+// collision-free).
+func KeyOf(cfg sim.Config, p workload.Profile, budget int, t tech.Params, obj power.Objective) Key {
+	return Key(sha256.Sum256([]byte(Fingerprint(cfg, p, budget, t, obj))))
+}
+
+// String returns the key as 64 lowercase hex digits — the form used for
+// on-disk content addressing and log lines.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Prefix returns the first two hex digits, the persistent store's
+// directory-fanout component (256-way).
+func (k Key) Prefix() string { return hex.EncodeToString(k[:1]) }
+
+// shardIndex maps the key onto one of n cache shards using the digest's
+// leading bytes; SHA-256 output is uniform, so no second hash is needed.
+func (k Key) shardIndex(n int) int {
+	return int(binary.BigEndian.Uint32(k[:4]) % uint32(n))
+}
+
+// ParseKey parses the 64-hex-digit form back into a Key (the persistent
+// store uses it to recover identities from filenames).
+func ParseKey(s string) (Key, bool) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return Key{}, false
+	}
+	copy(k[:], b)
+	return k, true
+}

@@ -1,0 +1,328 @@
+// Package evalstore is the persistent tier of the evaluation cache: a
+// content-addressed on-disk store of memoized evaluations, keyed by the
+// engine's SHA-256 request Key and composed behind the in-memory LRU as
+// evalengine.CacheBackend. It is what makes a design-space exploration's
+// most expensive asset — the (config, workload) → outcome corpus — survive
+// process restarts and get shared across sessions, tools and server
+// tenants: a rerun of yesterday's Table 5 build starts with every
+// evaluation already on disk.
+//
+// Layout and discipline:
+//
+//   - One record per evaluation at <dir>/<hh>/<64-hex-key>, where <hh> is
+//     the key's first two hex digits (256-way fanout, so no directory
+//     grows pathological).
+//   - Every record is written with internal/store's atomic discipline
+//     (temp file in the same directory, fsync, rename), so a crash mid
+//     write can never expose a truncated record under a valid name.
+//   - Every record opens with a versioned header; bumping the format
+//     version orphans old records cleanly instead of misreading them.
+//   - A record that fails to read — truncated, wrong version, undecodable
+//     — is moved to <dir>/quarantine/ and reported as a miss, never as an
+//     error: corruption costs one re-simulation, not a failed run.
+//   - Writes are write-behind: Put enqueues and returns; a single writer
+//     goroutine drains the queue. Flush (and Close) block until everything
+//     accepted so far is durable. A full queue applies backpressure by
+//     writing synchronously in the caller rather than dropping.
+package evalstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/store"
+)
+
+// header opens every record. The trailing version is the on-disk format
+// version: bump it when the record encoding changes shape and every record
+// written under the old format quarantines on first read instead of
+// decoding wrong.
+const header = "xpeval-record-v1\n"
+
+// quarantineDir collects records that failed to read.
+const quarantineDir = "quarantine"
+
+// defaultQueueDepth bounds the write-behind queue.
+const defaultQueueDepth = 256
+
+// Options tunes a Store. The zero value selects defaults.
+type Options struct {
+	// QueueDepth bounds the write-behind queue (default 256). A full
+	// queue never drops: Put degrades to a synchronous write instead.
+	QueueDepth int
+}
+
+// record is the gob payload of one file.
+type record struct {
+	Eval evalengine.Eval
+}
+
+// writeReq is one unit of work for the writer goroutine: either a record
+// to persist or a flush barrier to acknowledge.
+type writeReq struct {
+	key     evalengine.Key
+	val     evalengine.Eval
+	barrier chan struct{} // non-nil: flush marker, close when reached
+}
+
+// Store is a content-addressed persistent evaluation cache rooted at one
+// directory. Safe for concurrent use. It implements
+// evalengine.CacheBackend.
+type Store struct {
+	dir   string
+	queue chan writeReq
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	err    error // sticky first write error, surfaced by Flush/Close
+
+	entries     atomic.Int64
+	writes      atomic.Uint64
+	writeErrs   atomic.Uint64
+	quarantined atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+}
+
+// Open opens (creating if needed) the store rooted at dir with default
+// options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions opens the store with explicit options. Leftover temporary
+// files from a crashed writer are swept, and the current record count is
+// taken, before the store accepts traffic.
+func OpenOptions(dir string, o Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("evalstore: empty directory")
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = defaultQueueDepth
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o777); err != nil {
+		return nil, fmt.Errorf("evalstore: %w", err)
+	}
+	s := &Store{dir: dir, queue: make(chan writeReq, o.QueueDepth)}
+	if err := s.sweep(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// sweep removes temp files a crash left behind and counts the records
+// present. A half-written temp file is an artifact of the atomic-write
+// discipline — it was never visible under a record name — so deleting it
+// is recovery, not data loss.
+func (s *Store) sweep() error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("evalstore: %w", err)
+	}
+	var n int64
+	for _, de := range des {
+		if !de.IsDir() || de.Name() == quarantineDir {
+			continue
+		}
+		sub := filepath.Join(s.dir, de.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			return fmt.Errorf("evalstore: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			if strings.Contains(f.Name(), ".tmp-") {
+				os.Remove(filepath.Join(sub, f.Name()))
+				continue
+			}
+			n++
+		}
+	}
+	s.entries.Store(n)
+	return nil
+}
+
+// path returns the record file for a key: <dir>/<hh>/<64-hex>.
+func (s *Store) path(k evalengine.Key) string {
+	return filepath.Join(s.dir, k.Prefix(), k.String())
+}
+
+// Get implements evalengine.CacheBackend: it returns the stored
+// evaluation, or a miss. Any read failure — absent file aside — moves the
+// record to quarantine and reports a miss.
+func (s *Store) Get(k evalengine.Key) (evalengine.Eval, bool) {
+	path := s.path(k)
+	f, err := os.Open(path)
+	if err != nil {
+		s.misses.Add(1)
+		return evalengine.Eval{}, false
+	}
+	val, err := readRecord(f)
+	f.Close()
+	if err != nil {
+		s.quarantine(path, err)
+		s.misses.Add(1)
+		return evalengine.Eval{}, false
+	}
+	s.hits.Add(1)
+	return val, true
+}
+
+// readRecord checks the version header and decodes the payload.
+func readRecord(r io.Reader) (evalengine.Eval, error) {
+	buf := make([]byte, len(header))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return evalengine.Eval{}, fmt.Errorf("evalstore: short header: %w", err)
+	}
+	if string(buf) != header {
+		return evalengine.Eval{}, fmt.Errorf("evalstore: header %q, want %q", buf, header)
+	}
+	var rec record
+	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+		return evalengine.Eval{}, fmt.Errorf("evalstore: decode: %w", err)
+	}
+	return rec.Eval, nil
+}
+
+// quarantine moves a bad record aside so it is examined once, not
+// re-parsed on every request; if even the move fails the record is
+// removed.
+func (s *Store) quarantine(path string, reason error) {
+	dst := filepath.Join(s.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	s.quarantined.Add(1)
+	s.entries.Add(-1)
+}
+
+// Put implements evalengine.CacheBackend: it enqueues the record for the
+// write-behind goroutine, degrading to a synchronous write when the queue
+// is full (backpressure, never loss) or the store is closed.
+func (s *Store) Put(k evalengine.Key, val evalengine.Eval) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		s.writeNow(k, val)
+		return
+	}
+	select {
+	case s.queue <- writeReq{key: k, val: val}:
+	default:
+		s.writeNow(k, val)
+	}
+}
+
+// writer drains the write-behind queue until Close closes it.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		if req.barrier != nil {
+			close(req.barrier)
+			continue
+		}
+		s.writeNow(req.key, req.val)
+	}
+}
+
+// writeNow persists one record with the atomic temp+fsync+rename
+// discipline. Write failures are counted and held as the sticky error;
+// the evaluation itself already succeeded and is served from memory, so
+// nothing upstream fails.
+func (s *Store) writeNow(k evalengine.Key, val evalengine.Eval) {
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		s.noteWriteErr(err)
+		return
+	}
+	_, statErr := os.Lstat(path)
+	existed := statErr == nil
+	err := store.WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, header); err != nil {
+			return err
+		}
+		return gob.NewEncoder(w).Encode(record{Eval: val})
+	})
+	if err != nil {
+		s.noteWriteErr(err)
+		return
+	}
+	s.writes.Add(1)
+	if !existed {
+		s.entries.Add(1)
+	}
+}
+
+func (s *Store) noteWriteErr(err error) {
+	s.writeErrs.Add(1)
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Flush implements evalengine.CacheBackend: it blocks until every Put
+// accepted before the call is durable, and returns the sticky write error
+// if any write has failed so far.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		// A barrier rides the FIFO queue behind every prior record.
+		b := make(chan struct{})
+		s.queue <- writeReq{barrier: b}
+		<-b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close implements evalengine.CacheBackend: it flushes the queue, stops
+// the writer, and returns the sticky error. Puts arriving after Close
+// write synchronously, so nothing is lost either way. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats implements evalengine.CacheBackend.
+func (s *Store) Stats() evalengine.BackendStats {
+	n := s.entries.Load()
+	if n < 0 {
+		n = 0
+	}
+	return evalengine.BackendStats{
+		Entries:     uint64(n),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrs.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }

@@ -31,7 +31,9 @@ import (
 // Options configures a Session. The zero value selects defaults.
 type Options struct {
 	// Engine sizes the session's evaluation engine (cache entries,
-	// shards, trace cap, pool workers).
+	// shards, trace cap, pool workers) and carries its optional persistent
+	// cache tier (Engine.Backend, typically an evalstore.Store); a session
+	// with a backend must be Closed to flush write-behind records.
 	Engine evalengine.Options
 	// Recorder, when non-nil, records hierarchical execution spans for
 	// every run on this session (see internal/tracing). Contexts that
@@ -57,7 +59,7 @@ func New(o Options) *Session {
 }
 
 var (
-	defaultOnce sync.Once
+	defaultMu   sync.Mutex
 	defaultSess *Session
 )
 
@@ -66,8 +68,40 @@ var (
 // tests, servers hosting several tenants — should construct its own with
 // New instead.
 func Default() *Session {
-	defaultOnce.Do(func() { defaultSess = New(Options{}) })
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultSess == nil {
+		defaultSess = New(Options{})
+	}
 	return defaultSess
+}
+
+// SetDefault replaces the process-default session and returns the previous
+// one (nil if none had been created). Passing nil resets the lazy slot, so
+// the next Default() builds a fresh zero-config session. This is the seam
+// tests and tools use to run the facade's zero-config API against a
+// configured session — a disk-backed cache, say — and then restore
+// isolation afterwards. The caller owns closing the displaced session.
+func SetDefault(s *Session) *Session {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	prev := defaultSess
+	defaultSess = s
+	return prev
+}
+
+// Close releases the session's durable resources: it flushes and closes
+// the engine's persistent cache tier (a no-op for memory-only sessions).
+// The session stays usable afterwards — evaluation continues memory-only —
+// so Close is safe on shutdown paths while late work drains. Idempotent.
+func (s *Session) Close() error {
+	return s.engine.Close()
+}
+
+// Flush blocks until every evaluation handed to the persistent cache tier
+// is durable. A no-op for memory-only sessions.
+func (s *Session) Flush() error {
+	return s.engine.Flush()
 }
 
 // Engine returns the session's evaluation engine.

@@ -35,7 +35,7 @@ func TestWriteAtomicFailureKeepsOldFile(t *testing.T) {
 	}
 
 	boom := errors.New("disk on fire")
-	err = writeAtomic(path, func(w io.Writer) error {
+	err = WriteAtomic(path, func(w io.Writer) error {
 		// Partial garbage first — exactly what a crash mid-encode leaves.
 		if _, werr := w.Write([]byte(`{"format":"trunc`)); werr != nil {
 			return werr
@@ -43,7 +43,7 @@ func TestWriteAtomicFailureKeepsOldFile(t *testing.T) {
 		return boom
 	})
 	if !errors.Is(err, boom) {
-		t.Fatalf("writeAtomic returned %v, want the write error", err)
+		t.Fatalf("WriteAtomic returned %v, want the write error", err)
 	}
 
 	after, err := os.ReadFile(path)

@@ -125,12 +125,15 @@ func ReadOutcomes(r io.Reader, t tech.Params) ([]explore.Outcome, error) {
 	return outs, nil
 }
 
-// writeAtomic writes an artifact through write and installs it at path
+// WriteAtomic writes an artifact through write and installs it at path
 // atomically: the bytes go to a temporary file in path's directory, are
 // fsynced, and only then renamed over path. A crash, interrupt or write
 // failure at any point leaves the previous file (if any) untouched — an
-// interrupted save can never expose a truncated or corrupt artifact.
-func writeAtomic(path string, write func(io.Writer) error) (err error) {
+// interrupted save can never expose a truncated or corrupt artifact. It
+// is the one write discipline every persistent artifact in the tree uses:
+// outcome and matrix saves here, and each record of the content-addressed
+// evaluation store (internal/evalstore).
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -163,9 +166,9 @@ func writeAtomic(path string, write func(io.Writer) error) (err error) {
 	return nil
 }
 
-// SaveOutcomes writes outcomes to a file, atomically (see writeAtomic).
+// SaveOutcomes writes outcomes to a file, atomically (see WriteAtomic).
 func SaveOutcomes(path string, outs []explore.Outcome) error {
-	return writeAtomic(path, func(w io.Writer) error {
+	return WriteAtomic(path, func(w io.Writer) error {
 		return WriteOutcomes(w, outs)
 	})
 }
@@ -207,9 +210,9 @@ func ReadMatrix(r io.Reader) (*core.Matrix, error) {
 	return core.NewMatrix(f.Names, f.IPT)
 }
 
-// SaveMatrix writes a matrix to a file, atomically (see writeAtomic).
+// SaveMatrix writes a matrix to a file, atomically (see WriteAtomic).
 func SaveMatrix(path string, m *core.Matrix) error {
-	return writeAtomic(path, func(w io.Writer) error {
+	return WriteAtomic(path, func(w io.Writer) error {
 		return WriteMatrix(w, m)
 	})
 }

@@ -82,7 +82,7 @@ func (ChainResult) Kind() string { return "chain_result" }
 type Evaluation struct {
 	Workload string  `json:"workload"`
 	Budget   int     `json:"budget"`
-	Outcome  string  `json:"outcome"` // "hit", "dedup" or "miss"
+	Outcome  string  `json:"outcome"` // "hit", "dedup", "disk" or "miss"
 	WallNs   int64   `json:"wall_ns,omitempty"`
 	Score    float64 `json:"score,omitempty"`
 	IPT      float64 `json:"ipt,omitempty"`
@@ -125,6 +125,10 @@ type RunSummary struct {
 	LockstepGroups  uint64 `json:"lockstep_groups,omitempty"`
 	LockstepLanes   uint64 `json:"lockstep_lanes,omitempty"`
 	ScalarFallbacks uint64 `json:"scalar_fallbacks,omitempty"`
+	// Persistent-tier accounting (all zero without a disk cache), equally
+	// informational: disk hits are evaluations served from a previous run.
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
 }
 
 // Kind implements Event.
@@ -217,6 +221,21 @@ func (s *Sink) Emit(e Event) {
 	s.seq++
 	line = append(line, '\n')
 	if _, err := s.bw.Write(line); err != nil {
+		s.err = err
+	}
+}
+
+// Flush pushes everything buffered through to the underlying writer. Live
+// consumers tailing a sink's output (the job-event streams of cmd/xpserved)
+// call it after each emission burst; batch traces just Close at the end.
+// Safe on a nil sink.
+func (s *Sink) Flush() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
 		s.err = err
 	}
 }

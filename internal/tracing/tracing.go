@@ -48,6 +48,10 @@ const (
 	KindEvalHit   = "eval.hit"
 	KindEvalDedup = "eval.dedup"
 	KindEvalMiss  = "eval.miss"
+	// KindEvalDisk covers an evaluation served from the persistent cache
+	// tier: a memory-tier miss answered by the content-addressed disk
+	// store instead of a simulation.
+	KindEvalDisk = "eval.disk"
 	// KindEvalBatch covers one engine batch evaluation — a group of design
 	// points on one workload served together, lockstep when enough of them
 	// miss. Its arg is the group size.

@@ -1,0 +1,237 @@
+// The job bodies: one function per job kind, each a thin orchestration of
+// the same library layers the command-line tools call (explore, core,
+// subsetting, store), evaluated on the scheduler's shared session and
+// narrated onto the job's event stream. Results are returned in the
+// exact on-disk artifact formats (outcomes v1, matrix v1), so a client
+// can save a response body and feed it straight to the analysis tools.
+
+package xpserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"xpscalar/internal/cli"
+	"xpscalar/internal/explore"
+	"xpscalar/internal/power"
+	"xpscalar/internal/session"
+	"xpscalar/internal/sim"
+	"xpscalar/internal/store"
+	"xpscalar/internal/subsetting"
+	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
+	"xpscalar/internal/workload"
+)
+
+// objective parses the request's objective name ("" = ipt).
+func objective(name string) (power.Objective, error) {
+	switch name {
+	case "", "ipt":
+		return power.ObjIPT, nil
+	case "ipt-per-watt":
+		return power.ObjIPTPerWatt, nil
+	case "edp":
+		return power.ObjInverseEDP, nil
+	case "ed2p":
+		return power.ObjInverseED2P, nil
+	default:
+		return power.ObjIPT, fmt.Errorf("xpserve: unknown objective %q", name)
+	}
+}
+
+// profiles resolves the request's workload names (empty = whole suite).
+func profiles(names []string) ([]workload.Profile, error) {
+	if len(names) == 0 {
+		return workload.Suite(), nil
+	}
+	out := make([]workload.Profile, 0, len(names))
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("xpserve: unknown workload %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// exploreOptions maps request knobs onto the annealer's options, with the
+// per-job event stream attached; zero-valued knobs keep the defaults.
+func exploreOptions(req JobRequest, sink *telemetry.Sink) (explore.Options, error) {
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	opt := explore.DefaultOptions(seed)
+	if req.Iterations > 0 {
+		opt.Iterations = req.Iterations
+	}
+	if req.Chains > 0 {
+		opt.Chains = req.Chains
+	}
+	if req.ShortBudget > 0 {
+		opt.ShortBudget = req.ShortBudget
+	}
+	if req.LongBudget > 0 {
+		opt.LongBudget = req.LongBudget
+	}
+	if req.NeighborhoodK > 0 {
+		opt.NeighborhoodK = req.NeighborhoodK
+	}
+	obj, err := objective(req.Objective)
+	if err != nil {
+		return opt, err
+	}
+	opt.Objective = obj
+	opt.Observer = flushingObserver{cli.SinkExploreObserver(sink), sink}
+	return opt, nil
+}
+
+// flushingObserver pushes every event through the sink's buffer as it is
+// emitted, so clients tailing the stream see steps live, not in 4K
+// bursts.
+type flushingObserver struct {
+	inner explore.Observer
+	sink  *telemetry.Sink
+}
+
+func (o flushingObserver) ObserveStep(e explore.StepEvent) {
+	o.inner.ObserveStep(e)
+	o.sink.Flush()
+}
+
+func (o flushingObserver) ObserveChain(e explore.ChainEvent) {
+	o.inner.ObserveChain(e)
+	o.sink.Flush()
+}
+
+// instructions returns the request's per-evaluation budget with a
+// default.
+func instructions(req JobRequest, def int) int {
+	if req.Instructions > 0 {
+		return req.Instructions
+	}
+	return def
+}
+
+// runExplore is the service form of cmd/xpscalar: anneal each requested
+// workload (with the suite's cross-seeding round) and return the
+// outcomes artifact.
+func runExplore(ctx context.Context, sess *session.Session, req JobRequest, sink *telemetry.Sink) (json.RawMessage, error) {
+	ps, err := profiles(req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := exploreOptions(req, sink)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := sess.ExploreSuite(ctx, ps, opt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := store.WriteOutcomes(&buf, outs); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// runMatrix is the service form of crossconf -source sim: explore the
+// requested workloads, then simulate every workload on every customized
+// configuration, returning the matrix artifact.
+func runMatrix(ctx context.Context, sess *session.Session, req JobRequest, sink *telemetry.Sink) (json.RawMessage, error) {
+	ps, err := profiles(req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := exploreOptions(req, sink)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := sess.ExploreSuite(ctx, ps, opt)
+	if err != nil {
+		return nil, err
+	}
+	configs := make([]sim.Config, len(outs))
+	for i, out := range outs {
+		configs[i] = out.Best
+	}
+	cell := cli.SinkCellFunc(sink)
+	m, err := sess.CrossMatrixObserved(ctx, ps, configs, instructions(req, 60000), tech.Default(),
+		func(workload, arch string, budget int, ipt float64) {
+			cell(workload, arch, budget, ipt)
+			sink.Flush()
+		})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := store.WriteMatrix(&buf, m); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// subsettingResult is the result document of a subsetting job: the
+// suite's workloads partitioned into clusters by their normalized Kiviat
+// characteristic vectors.
+type subsettingResult struct {
+	Format   string     `json:"format"`
+	Names    []string   `json:"names"`
+	Clusters [][]string `json:"clusters,omitempty"`
+}
+
+// runSubsetting is the service form of cmd/subsetting's clustering: it
+// extracts microarchitecture-independent characteristics from the suite
+// and k-means-clusters them (default k 4), returning the cluster
+// membership.
+func runSubsetting(ctx context.Context, sess *session.Session, req JobRequest, sink *telemetry.Sink) (json.RawMessage, error) {
+	ps := workload.Suite()
+	n := instructions(req, 50000)
+	k := req.KMeans
+	if k <= 0 {
+		k = 4
+	}
+	names := make([]string, len(ps))
+	cs := make([]workload.Characteristics, len(ps))
+	for i, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := workload.Extract(p, n)
+		if err != nil {
+			return nil, err
+		}
+		names[i] = p.Name
+		cs[i] = c
+		sink.Emit(telemetry.MatrixCell{Workload: p.Name, Arch: "characteristics", Budget: n})
+		sink.Flush()
+	}
+	// Kiviat axes are normalized across the whole set, so the feature
+	// matrix is built only after every extraction is in.
+	ks, err := subsetting.KiviatSet(cs)
+	if err != nil {
+		return nil, err
+	}
+	features := make([][]float64, len(ks))
+	for i := range ks {
+		features[i] = ks[i].Axes[:]
+	}
+	res, err := subsetting.KMeans(features, k, subsetting.NormMinMax)
+	if err != nil {
+		return nil, err
+	}
+	doc := subsettingResult{Format: "xpscalar-subsets-v1", Names: names}
+	for _, set := range subsetting.ClusterSets(res.Assign, k) {
+		var members []string
+		for _, i := range set {
+			members = append(members, names[i])
+		}
+		doc.Clusters = append(doc.Clusters, members)
+	}
+	_ = sess // characteristics extraction is engine-independent today
+	return json.Marshal(doc)
+}

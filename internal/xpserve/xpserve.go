@@ -1,0 +1,121 @@
+// Package xpserve is the exploration service: a bounded multi-tenant job
+// scheduler plus an HTTP/JSON API (cmd/xpserved) over one shared
+// evaluation session. Clients POST exploration, cross-matrix or
+// subsetting jobs; the scheduler runs them with bounded concurrency on
+// the session's worker pool, every tenant sharing one two-tier (memory +
+// disk) evaluation cache — so the second client asking for an already
+// explored region pays cache reads, not simulations.
+//
+// A job moves queued → running → done | failed | cancelled. While it
+// runs, its search telemetry (annealing steps, chain results, matrix
+// cells) is appended to a per-job JSONL event stream that clients can
+// tail live over HTTP; the stream is the same wire format as the -trace
+// files, so xptrace tooling reads a saved copy unchanged. Cancellation
+// (DELETE) propagates through the job's context and stops the search at
+// the next annealing iteration.
+package xpserve
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"xpscalar/internal/telemetry"
+)
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job kinds.
+const (
+	KindExplore    = "explore"
+	KindMatrix     = "matrix"
+	KindSubsetting = "subsetting"
+)
+
+// JobRequest is the body of POST /v1/jobs. Kind selects the computation;
+// zero-valued knobs take the same defaults the command-line tools use.
+type JobRequest struct {
+	// Kind is "explore", "matrix" or "subsetting".
+	Kind string `json:"kind"`
+
+	// Workloads restricts the run to named profiles of the synthetic
+	// suite (default: the whole suite). Explore and matrix jobs only.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Seed makes the job deterministic (default 42).
+	Seed *int64 `json:"seed,omitempty"`
+
+	// Annealing knobs (explore and matrix jobs).
+	Iterations    int    `json:"iterations,omitempty"`
+	Chains        int    `json:"chains,omitempty"`
+	ShortBudget   int    `json:"short_budget,omitempty"`
+	LongBudget    int    `json:"long_budget,omitempty"`
+	NeighborhoodK int    `json:"neighborhood,omitempty"`
+	Objective     string `json:"objective,omitempty"` // ipt|ipt-per-watt|edp|ed2p
+
+	// Instructions is the per-evaluation budget of matrix cells and
+	// subsetting characteristic extraction.
+	Instructions int `json:"instructions,omitempty"`
+
+	// KMeans, for subsetting jobs, additionally clusters the suite's
+	// characteristic vectors with this k (0: dendrogram only).
+	KMeans int `json:"kmeans,omitempty"`
+}
+
+// JobStatus is the wire form of a job's state, returned by GET /v1/jobs
+// and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Events is the number of telemetry events on the job's stream so
+	// far.
+	Events uint64 `json:"events"`
+
+	// Result is the job's JSON result document, present once done. Its
+	// shape depends on Kind: explore jobs return the outcomes file
+	// format (xpscalar-outcomes-v1), matrix jobs the matrix file format
+	// (xpscalar-matrix-v1), subsetting jobs a cluster report.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Job is one submitted computation. All mutable state is behind the
+// scheduler's lock; the running computation communicates only through
+// ctx, the event stream, and its return value.
+type Job struct {
+	id  string
+	req JobRequest
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	state  string
+	err    string
+	result json.RawMessage
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	events *eventBuffer
+	// sink wraps events for the running computation; read (nil-safely)
+	// for the status event count. Guarded by the scheduler's lock.
+	sink *telemetry.Sink
+}
+
+// sinkEvents reports how many events the job has emitted (0 before it
+// starts). Caller holds the scheduler lock.
+func (j *Job) sinkEvents() uint64 { return j.sink.Events() }
