@@ -39,16 +39,33 @@ import (
 // sim-level evaluation, the raw pipeline loop, the steady-state
 // reusable-runner path that the evaluation engine rides, the N=8
 // lockstep kernel that batched evaluations amortize the stream over,
-// and the persistent tier's disk-hit path (read + decode + verify of
-// one on-disk evaluation record).
+// the persistent tier's disk-hit path (read + decode + verify of one
+// on-disk evaluation record), and the remote tier's hit path (one
+// loopback HTTP GET to the owning peer).
+// A non-empty benchtime overrides the flag for that entry: the remote
+// tier's per-op cost is ~100µs of loopback HTTP, where a single
+// scheduler hiccup at 20 iterations moves the mean by half — it needs
+// an order of magnitude more samples than the multi-millisecond CPU
+// kernels to report a stable floor.
 var suite = []struct {
-	pkg     string
-	pattern string
+	pkg       string
+	pattern   string
+	benchtime string
 }{
-	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner|BenchmarkRunnerIntrospection"},
-	{"./internal/pipeline", "BenchmarkPipelineGCC"},
-	{"./internal/evalstore", "BenchmarkEvalDiskHit"},
-	{".", "BenchmarkAnnealChainKernel"},
+	{"./internal/sim", "BenchmarkRunInitialConfigGzip20k|BenchmarkRunnerSteadyState|BenchmarkLockstepRunner|BenchmarkRunnerIntrospection", ""},
+	{"./internal/pipeline", "BenchmarkPipelineGCC", ""},
+	{"./internal/evalstore", "BenchmarkEvalDiskHit", ""},
+	{"./internal/evalremote", "BenchmarkEvalRemoteHit", "200x"},
+	{".", "BenchmarkAnnealChainKernel", ""},
+}
+
+// thresholdOverride widens the -compare gate for benchmarks whose cost
+// floor is network-bound rather than CPU-bound: loopback HTTP moves
+// 15-20% with machine load where the CPU kernels move 5%, while a
+// genuine regression on the remote path (an extra round trip, lost
+// connection reuse) is a multiple, not a percentage.
+var thresholdOverride = map[string]float64{
+	"BenchmarkEvalRemoteHit": 40,
 }
 
 // baseline is the seed kernel measured on the same machine class before the
@@ -102,9 +119,13 @@ func main() {
 	}
 	var current []Benchmark
 	for _, s := range suite {
+		bt := *benchtime
+		if s.benchtime != "" {
+			bt = s.benchtime
+		}
 		var best []Benchmark
 		for r := 0; r < *repeat; r++ {
-			results, err := run(s.pkg, s.pattern, *benchtime)
+			results, err := run(s.pkg, s.pattern, bt)
 			if err != nil {
 				slog.Error(err.Error(), "package", s.pkg)
 				os.Exit(1)
@@ -145,8 +166,9 @@ func main() {
 
 // compareRun diffs fresh results against the Current section of a recorded
 // report and returns the process exit status: 0 when every shared
-// benchmark's ns/op is within threshold percent of the recording, 1 past
-// it. Benchmarks present on only one side are reported but never fail the
+// benchmark's ns/op is within threshold percent of the recording
+// (thresholdOverride entries use their own, wider limit), 1 past it.
+// Benchmarks present on only one side are reported but never fail the
 // gate — suite growth is not a regression.
 func compareRun(path string, current []Benchmark, threshold float64) int {
 	buf, err := os.ReadFile(path)
@@ -176,8 +198,12 @@ func compareRun(path string, current []Benchmark, threshold float64) int {
 			continue
 		}
 		delta := (b.Metrics["ns/op"] - r.Metrics["ns/op"]) / r.Metrics["ns/op"] * 100
+		limit := threshold
+		if o, ok := thresholdOverride[b.Name]; ok {
+			limit = o
+		}
 		mark := ""
-		if delta > threshold {
+		if delta > limit {
 			mark = "  REGRESSION"
 			failed = true
 		}

@@ -8,7 +8,7 @@
 //
 //	crossconf [-source paper|sim] [-slowdown] [-mark none|forward|full] [-n instr] [-iterations n] [-seed n]
 //	          [-lockstep=false] [-timeout d] [-evalstats] [-cache-dir dir]
-//	          [-trace file] [-metrics-addr addr] [-progress]
+//	          [-cache-peers urls] [-trace file] [-metrics-addr addr] [-progress]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // Matrices go to stdout; diagnostics go to stderr. With -source sim, -trace

@@ -1,0 +1,210 @@
+// End-to-end fleet-cache tests: a real xpserved peer computes the tiny
+// Table 4 job, then a separate xpscalar process pointed at it with
+// -cache-peers finishes the identical exploration without simulating a
+// single point — byte-identical stdout, zero misses, every evaluation
+// pulled over HTTP. And the degraded half of the contract: killing the
+// peer must cost only the hit rate — same stdout, exit 0 — never a
+// failure or a stall.
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xpscalar/internal/telemetry"
+)
+
+// buildServer compiles cmd/xpserved into a temporary directory.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xpserved")
+	cmd := exec.Command("go", "build", "-o", bin, "xpscalar/cmd/xpserved")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build xpserved: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startPeer launches xpserved on an ephemeral port and waits until it
+// serves. The returned cleanup kills it hard (the graceful path is
+// xpserved's own test's concern).
+func startPeer(t *testing.T, bin, cacheDir string) (base string, kill func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-cache-dir", cacheDir, "-max-jobs", "1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kill = func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base = "http://" + strings.TrimSpace(string(data))
+			if _, err := http.Get(base + "/healthz"); err == nil {
+				return base, kill
+			}
+		}
+		if time.Now().After(deadline) {
+			kill()
+			t.Fatalf("peer never came up\nstderr: %s", stderr.Bytes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// warmPeer submits the canonical tiny explore job — the exact point set
+// the xpscalar flags below request — and waits for completion, so the
+// peer's memory and disk tiers hold every evaluation.
+func warmPeer(t *testing.T, base string) {
+	t.Helper()
+	req := `{"kind":"explore","workloads":["gzip"],"iterations":3,"chains":1,"short_budget":1000,"long_budget":1000}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, err %v", resp.StatusCode, err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch cur.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("warm job ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warm job stuck in %s", cur.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// runExplore runs the xpscalar binary with the canonical tiny flags plus
+// extras, returning stdout.
+func runExplore(t *testing.T, bin, dir, trace string, extra ...string) string {
+	t.Helper()
+	args := []string{
+		"-workload", "gzip", "-iterations", "3", "-chains", "1",
+		"-short", "1000", "-long", "1000",
+		"-trace", filepath.Join(dir, trace),
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run %v: %v\nstderr: %s", extra, err, stderr.Bytes())
+	}
+	return stdout.String()
+}
+
+// readSummary parses the trace's closing run summary.
+func readSummary(t *testing.T, dir, trace string) *telemetry.RunSummary {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := events[len(events)-1].Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := last.(*telemetry.RunSummary)
+	if !ok {
+		t.Fatalf("trace %s does not end in a summary", trace)
+	}
+	return s
+}
+
+// TestFleetWarmExploration: warm peer → zero-simulation client run; dead
+// peer → local-only run; both byte-identical to the reference.
+func TestFleetWarmExploration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs two real binaries")
+	}
+	bin := buildBinary(t)
+	srvBin := buildServer(t)
+	dir := t.TempDir()
+
+	// Reference: a plain local run, no cache tiers at all.
+	reference := runExplore(t, bin, dir, "ref.jsonl")
+	rs := readSummary(t, dir, "ref.jsonl")
+	if rs.Misses == 0 {
+		t.Fatalf("reference run simulated nothing: %+v", rs)
+	}
+
+	// Warm the peer with the identical point set, then explore against it.
+	base, kill := startPeer(t, srvBin, filepath.Join(dir, "peer-cache"))
+	defer kill()
+	warmPeer(t, base)
+	warm := runExplore(t, bin, dir, "fleet.jsonl", "-cache-peers", base)
+	if warm != reference {
+		t.Fatalf("fleet-warm run printed a different Table 4:\n%s\nvs\n%s", warm, reference)
+	}
+	ws := readSummary(t, dir, "fleet.jsonl")
+	if ws.Misses != 0 {
+		t.Fatalf("fleet-warm run simulated %d points, want 0 (pulled from the peer): %+v", ws.Misses, ws)
+	}
+	if ws.RemoteHits == 0 {
+		t.Fatalf("fleet-warm summary %+v, want remote hits", ws)
+	}
+	if ws.DiskHits < ws.RemoteHits {
+		t.Fatalf("summary %+v: remote hits are a subset of backend-tier hits", ws)
+	}
+
+	// Kill the peer (hard, mid-fleet): the same run must degrade to
+	// local-only — every point simulated again — with identical output and
+	// a clean exit.
+	kill()
+	dead := runExplore(t, bin, dir, "dead.jsonl", "-cache-peers", base)
+	if dead != reference {
+		t.Fatalf("dead-peer run printed a different Table 4:\n%s\nvs\n%s", dead, reference)
+	}
+	ds := readSummary(t, dir, "dead.jsonl")
+	if ds.Misses != rs.Misses {
+		t.Fatalf("dead-peer run simulated %d points, reference %d", ds.Misses, rs.Misses)
+	}
+	if ds.RemoteHits != 0 {
+		t.Fatalf("dead-peer summary %+v reports remote hits", ds)
+	}
+}

@@ -8,8 +8,8 @@
 //
 //	xpscalar [-workload name] [-iterations n] [-chains n] [-short n] [-long n] [-seed n]
 //	         [-neighborhood k] [-lockstep=false] [-timeout d] [-evalstats]
-//	         [-cache-dir dir] [-trace file] [-spans file] [-metrics-addr addr]
-//	         [-progress] [-log-level l] [-log-format text|json]
+//	         [-cache-dir dir] [-cache-peers urls] [-trace file] [-spans file]
+//	         [-metrics-addr addr] [-progress] [-log-level l] [-log-format text|json]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // The Table 4 analogue goes to stdout; diagnostics (wall time, -evalstats,
@@ -29,6 +29,12 @@
 // dir; a rerun (same flags, same seed) over the same directory replays
 // from disk instead of simulating, bit-identically — check with -evalstats
 // (sims drop to zero) or xptrace diff (clean against the cold run).
+// -cache-peers adds a remote tier behind the disk: a comma-separated list
+// of xpserved base URLs forming a fleet cache, each evaluation key owned
+// by one peer (consistent hashing). A run against a warm fleet pulls its
+// evaluations over HTTP instead of simulating — same bit-identity
+// guarantee — and a dead or slow peer only lowers the hit rate, never
+// fails or stalls the run.
 //
 // The run is interruptible: Ctrl-C (or -timeout expiry) stops the search
 // at the next annealing iteration, prints the outcomes of the workloads

@@ -1,15 +1,21 @@
 // Command xpserved serves the design-space exploration as a service: an
 // HTTP/JSON job API (see internal/xpserve) over one shared evaluation
-// session with a two-tier — in-memory plus content-addressed on-disk —
+// session with a tiered — in-memory plus content-addressed on-disk —
 // evaluation cache. Every tenant's jobs share the cache, so work any
 // client has paid for is never simulated again, across jobs and (with
 // -cache-dir) across server restarts.
 //
+// xpserved is also a cache PEER: it mounts the fleet cache routes
+// (internal/evalremote) beside the job API, serving its memory and disk
+// tiers to other processes started with -cache-peers, and with
+// -cache-peers of its own it joins a fleet, pulling evaluations other
+// peers own and pushing the ones it computes.
+//
 // Usage:
 //
 //	xpserved [-addr host:port] [-addr-file file] [-cache-dir dir]
-//	         [-max-jobs n] [-backlog n] [-lockstep=false]
-//	         [-log-level l] [-log-format text|json]
+//	         [-cache-peers urls] [-max-jobs n] [-backlog n]
+//	         [-lockstep=false] [-log-level l] [-log-format text|json]
 //
 // API:
 //
@@ -18,13 +24,16 @@
 //	GET    /v1/jobs/{id}        status (+ result once done)
 //	GET    /v1/jobs/{id}/events tail the job's JSONL telemetry (curl -N)
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /metrics             Prometheus metrics (engine + disk tier + job gauges)
+//	GET    /v1/cache/{key}      fleet cache: fetch one evaluation record
+//	PUT    /v1/cache/{key}      fleet cache: store one evaluation record
+//	POST   /v1/cache/lookup     fleet cache: batched multi-get
+//	GET    /metrics             Prometheus metrics (engine + cache tiers + job gauges)
 //	GET    /healthz, /buildinfo, /debug/pprof/...
 //
 // SIGINT/SIGTERM shuts down gracefully: in-flight jobs are cancelled,
-// their clients' event streams end, and the disk tier is flushed before
-// the process exits. -addr-file writes the bound address (useful with
-// -addr 127.0.0.1:0) for scripts and tests.
+// their clients' event streams end, and the persistent tiers are flushed
+// before the process exits. -addr-file writes the bound address (useful
+// with -addr 127.0.0.1:0) for scripts and tests.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"xpscalar/internal/cli"
 	"xpscalar/internal/evalengine"
+	"xpscalar/internal/evalremote"
 	"xpscalar/internal/session"
 	"xpscalar/internal/telemetry"
 	"xpscalar/internal/xpserve"
@@ -100,7 +110,13 @@ func run(ctx context.Context) error {
 			return err
 		}
 	}
-	srv := &http.Server{Handler: sched.Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	// The cache routes serve this process's LOCAL tiers only (memory LRU
+	// + its own disk store): handing them the full backend chain would
+	// let fleet peers proxy-loop through each other.
+	mux := http.NewServeMux()
+	evalremote.Register(mux, evalremote.EngineSource{Engine: sess.Engine(), Disk: ccfg.Disk()})
+	mux.Handle("/", sched.Handler(reg))
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	slog.Info("xpserved serving", "addr", ln.Addr().String(),

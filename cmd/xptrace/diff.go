@@ -34,10 +34,10 @@ var ignoredFlags = map[string]bool{
 	// kernel computes (Result is bit-identical armed or not), so an armed
 	// run must diff clean against a plain one.
 	"cpi": true, "intervals": true, "interval-size": true,
-	// The persistent cache tier only ever serves values the engine itself
-	// computed and stored — a warm-cache run is bit-identical to a cold
-	// one, and diffing the two is exactly how that claim is checked.
-	"cache-dir": true,
+	// The persistent cache tiers only ever serve values an engine computed
+	// and stored — a warm-cache or fleet-warm run is bit-identical to a
+	// cold one, and diffing the two is exactly how that claim is checked.
+	"cache-dir": true, "cache-peers": true,
 }
 
 func diffCmd(args []string) (bool, error) {

@@ -1,44 +1,87 @@
 // The persistent evaluation cache shared by the command-line tools: one
 // -cache-dir flag that puts a content-addressed on-disk tier
-// (internal/evalstore) behind the session's in-memory cache. Runs pointed
-// at the same directory share their work across processes — a rerun of an
-// exploration starts with every previously simulated point already on
-// disk — without changing a single result bit: the disk tier only ever
-// serves values the engine itself computed and stored.
+// (internal/evalstore) behind the session's in-memory cache, and one
+// -cache-peers flag that adds a remote tier (internal/evalremote) behind
+// the disk — memory → disk → remote, each slower and wider than the one
+// before. Runs pointed at the same directory or fleet share their work
+// across processes — a rerun of an exploration starts with every
+// previously simulated point already cached — without changing a single
+// result bit: the persistent tiers only ever serve values an engine
+// computed and stored.
 
 package cli
 
 import (
 	"flag"
+	"strings"
 
 	"xpscalar/internal/evalengine"
+	"xpscalar/internal/evalremote"
 	"xpscalar/internal/evalstore"
 )
 
-// CacheConfig carries the persistent-cache flag.
+// CacheConfig carries the persistent-cache flags.
 type CacheConfig struct {
-	// Dir is the store's root directory ("" for memory-only).
+	// Dir is the store's root directory ("" for no disk tier).
 	Dir string
+	// Peers is a comma-separated list of remote cache base URLs
+	// ("" for no remote tier).
+	Peers string
+
+	disk *evalstore.Store
 }
 
-// RegisterFlags registers -cache-dir on the default flag set.
+// RegisterFlags registers -cache-dir and -cache-peers on the default
+// flag set.
 func (c *CacheConfig) RegisterFlags() {
 	flag.StringVar(&c.Dir, "cache-dir", "",
 		"persist evaluations to a content-addressed store in this directory, shared across runs")
+	flag.StringVar(&c.Peers, "cache-peers", "",
+		"comma-separated base URLs of remote cache peers (xpserved instances) to share evaluations with")
 }
 
-// Open opens the configured disk tier, ready to hand to
-// evalengine.Options.Backend. With no directory configured it returns
-// (nil, nil): the session stays memory-only. The returned backend is owned
-// by the session it is installed in — Session.Close (reached through
-// Telemetry.Close on every tool's shutdown path) flushes and closes it.
-func (c CacheConfig) Open() (evalengine.CacheBackend, error) {
-	if c.Dir == "" {
-		return nil, nil
+// Open opens the configured persistent tiers — disk, remote, or both
+// composed — ready to hand to evalengine.Options.Backend. With nothing
+// configured it returns (nil, nil): the session stays memory-only. The
+// returned backend is owned by the session it is installed in —
+// Session.Close (reached through Telemetry.Close on every tool's
+// shutdown path) flushes and closes every tier.
+func (c *CacheConfig) Open() (evalengine.CacheBackend, error) {
+	var tiers []evalengine.CacheBackend
+	if c.Dir != "" {
+		s, err := evalstore.Open(c.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = s
+		tiers = append(tiers, s)
 	}
-	s, err := evalstore.Open(c.Dir)
-	if err != nil {
-		return nil, err
+	if c.Peers != "" {
+		var peers []string
+		for _, p := range strings.Split(c.Peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		cl, err := evalremote.NewClient(peers, evalremote.Options{})
+		if err != nil {
+			if c.disk != nil {
+				c.disk.Close()
+				c.disk = nil
+			}
+			return nil, err
+		}
+		tiers = append(tiers, cl)
 	}
-	return s, nil
+	return evalengine.Tiered(tiers...), nil
+}
+
+// Disk returns the local disk store Open created, or nil. A cache
+// server hands this (not the full tier chain) to its request handlers,
+// so serving the fleet can never re-enter the fleet.
+func (c *CacheConfig) Disk() evalengine.CacheBackend {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk
 }

@@ -337,6 +337,8 @@ func (t *Telemetry) Close() (firstErr error) {
 			ScalarFallbacks: s.ScalarFallbacks,
 			DiskHits:        s.DiskHits,
 			DiskMisses:      s.DiskMisses,
+			RemoteHits:      s.Disk.RemoteHits,
+			RemoteMisses:    s.Disk.RemoteMisses,
 		})
 		n := t.sink.Events()
 		if err := t.sink.Close(); err != nil {

@@ -68,14 +68,11 @@ func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Confi
 	// Classify every member against the memo cache. Duplicate
 	// configurations within the batch resolve naturally: the first claims
 	// the miss, the rest join it as dedups and are served once the owned
-	// simulations below have closed their entries. Claimed misses read
-	// through the persistent tier before joining a simulation group: a
-	// disk hit resolves the entry on the spot (promoting the record into
-	// the memory LRU) and never occupies a lockstep lane.
+	// simulations below have closed their entries.
 	e.requests.Add(uint64(k))
 	be := e.tier()
 	claims := make([]batchClaim, k)
-	var lanes, scalars []int // miss indices: lockstep-eligible vs not
+	var owned []int // indices whose memo entry this call claimed
 	for i := range cfgs {
 		key := KeyOf(cfgs[i], p, budget, t, obj)
 		me, outcome := e.claim(key)
@@ -86,22 +83,42 @@ func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Confi
 		case "dedup":
 			e.deduped.Add(1)
 		case "miss":
-			if be != nil {
-				if val, ok := be.Get(key); ok {
-					e.diskHits.Add(1)
-					me.val = val
-					close(me.ready)
-					claims[i].outcome = "disk"
-					continue
-				}
-				e.diskMisses.Add(1)
-			}
-			e.misses.Add(1)
-			if !e.lockstepOff && cfgs[i].Validate(t) == nil {
-				lanes = append(lanes, i)
-			} else {
-				scalars = append(scalars, i)
-			}
+			owned = append(owned, i)
+		}
+	}
+
+	// Batched read-through: the owned misses go to the persistent tier as
+	// ONE multi-get — one sequential disk pass, one POST per remote peer —
+	// instead of a round trip per key. A tier hit resolves the claimed
+	// entry on the spot (promoting the record into the memory LRU, where
+	// claim already inserted it) and never occupies a lockstep lane; only
+	// the keys every tier missed go on to simulate.
+	var lanes, scalars []int // owned-miss indices: lockstep-eligible vs not
+	var found map[Key]Eval
+	if be != nil && len(owned) > 0 {
+		keys := make([]Key, len(owned))
+		for j, i := range owned {
+			keys[j] = claims[i].key
+		}
+		found = backendGetBatch(be, keys)
+	}
+	for _, i := range owned {
+		me := claims[i].entry
+		if val, ok := found[claims[i].key]; ok {
+			e.diskHits.Add(1)
+			me.val = val
+			close(me.ready)
+			claims[i].outcome = "disk"
+			continue
+		}
+		if be != nil {
+			e.diskMisses.Add(1)
+		}
+		e.misses.Add(1)
+		if !e.lockstepOff && cfgs[i].Validate(t) == nil {
+			lanes = append(lanes, i)
+		} else {
+			scalars = append(scalars, i)
 		}
 	}
 

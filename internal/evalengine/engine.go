@@ -92,16 +92,28 @@ type CacheBackend interface {
 }
 
 // BackendStats is a snapshot of a cache backend's counters, surfaced
-// through the engine's Stats so one -evalstats line covers both tiers.
+// through the engine's Stats so one -evalstats line covers every tier.
+// Each backend populates only the fields it owns — the disk store the
+// entry/write family, the remote client the Remote* family — so a tier
+// composition merges snapshots by plain summation.
 type BackendStats struct {
-	// Entries is the number of records currently stored.
-	Entries uint64
+	// Entries is the number of records currently stored; Bytes their
+	// total on-disk size.
+	Entries, Bytes uint64
 	// Writes counts records made durable; WriteErrors the Puts that
 	// failed (the entry is simply not persisted — never an eval failure).
 	Writes, WriteErrors uint64
 	// Quarantined counts corrupt records moved aside (and served as
 	// misses) instead of failing reads.
 	Quarantined uint64
+	// Remote-tier counters, all zero without one. RemoteHits/RemoteMisses
+	// classify remote lookups; RemoteErrors is the subset of misses caused
+	// by transport, timeout or decode failures (every failure is a miss,
+	// never an error into the eval path). RemoteWrites counts records
+	// delivered to a peer; RemoteDropped the writes abandoned to queue
+	// overflow or peer failure — dropping costs nothing locally, the
+	// record is already held by the faster tiers.
+	RemoteHits, RemoteMisses, RemoteErrors, RemoteWrites, RemoteDropped uint64
 }
 
 const (
@@ -344,6 +356,53 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry) {
 			}
 			return 0
 		})
+	reg.Func("xpscalar_eval_disk_entries_bytes", "total bytes held by the persistent tier's records", "gauge",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().Bytes)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_remote_hits_total", "evaluations served by a remote cache peer", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().RemoteHits)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_remote_misses_total", "remote-tier lookups no peer could answer", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().RemoteMisses)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_remote_errors_total", "remote-tier lookups failed by transport, timeout or decode (served as misses)", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().RemoteErrors)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_remote_writes_total", "evaluations delivered to a remote cache peer", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().RemoteWrites)
+			}
+			return 0
+		})
+	reg.Func("xpscalar_eval_remote_dropped_total", "remote writes abandoned to queue overflow or peer failure", "counter",
+		func() float64 {
+			if be := e.tier(); be != nil {
+				return float64(be.Stats().RemoteDropped)
+			}
+			return 0
+		})
+	// A backend with metrics of its own (the remote client's per-request
+	// latency histogram) registers them beside the engine's.
+	if bt, ok := e.tier().(backendTelemetry); ok {
+		bt.EnableTelemetry(reg)
+	}
 	reg.Func("xpscalar_eval_cache_entries", "memoized evaluations currently cached", "gauge",
 		func() float64 { return float64(e.CacheEntries()) })
 	reg.Func("xpscalar_trace_instr_built_total", "instructions materialized by the trace store", "counter",
@@ -496,15 +555,70 @@ func (e *Engine) claim(key Key) (*memoEntry, string) {
 		}
 	}
 	me := &memoEntry{key: key, ready: make(chan struct{})}
-	sh.entries[key] = sh.order.PushFront(me)
+	e.insertLocked(sh, me)
+	sh.mu.Unlock()
+	return me, "miss"
+}
+
+// insertLocked adds a new entry to the shard (whose mutex the caller
+// holds) and applies the LRU bound.
+func (e *Engine) insertLocked(sh *cacheShard, me *memoEntry) {
+	sh.entries[me.key] = sh.order.PushFront(me)
 	for sh.order.Len() > sh.cap {
 		back := sh.order.Back()
 		delete(sh.entries, back.Value.(*memoEntry).key)
 		sh.order.Remove(back)
 		e.evicted.Add(1)
 	}
-	sh.mu.Unlock()
-	return me, "miss"
+}
+
+// Peek returns the completed, successful memo entry for key, if the
+// memory tier holds one. Unlike Evaluate it never inserts an entry,
+// never consults the persistent tier, and never counts toward the
+// request statistics — it is the read-only face a cache-serving peer
+// (internal/evalremote's server) exposes over the engine's hot tier.
+func (e *Engine) Peek(key Key) (Eval, bool) {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return Eval{}, false
+	}
+	me := el.Value.(*memoEntry)
+	select {
+	case <-me.ready:
+	default:
+		// In flight: its owner will resolve it; a peer asking now simply
+		// misses.
+		return Eval{}, false
+	}
+	if me.err != nil {
+		return Eval{}, false
+	}
+	sh.order.MoveToFront(el)
+	return me.val, true
+}
+
+// Memoize installs an externally computed evaluation into the memory
+// tier as a completed entry — the write face a cache-serving peer
+// exposes, so a PUT from the fleet warms this process's LRU. An existing
+// entry (completed or in flight) is left untouched: the engine's own
+// computation of a design point is always at least as authoritative as a
+// peer's copy of the same pure function. The persistent tier is
+// deliberately not written here; callers that own a local store compose
+// that themselves (and a remote tier must never re-fan a peer's PUT back
+// into the fleet).
+func (e *Engine) Memoize(key Key, val Eval) {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return
+	}
+	me := &memoEntry{key: key, ready: make(chan struct{}), val: val}
+	close(me.ready)
+	e.insertLocked(sh, me)
 }
 
 // Evaluate returns the simulation result and objective score for the
@@ -734,8 +848,13 @@ func (s Stats) String() string {
 	if s.DiskHits == 0 && s.DiskMisses == 0 && s.Disk == (BackendStats{}) {
 		return base
 	}
-	return base + fmt.Sprintf("; disk: %d hits, %d misses, %d entries, %d writes (%d errors), %d quarantined",
-		s.DiskHits, s.DiskMisses, s.Disk.Entries, s.Disk.Writes, s.Disk.WriteErrors, s.Disk.Quarantined)
+	base += fmt.Sprintf("; disk: %d hits, %d misses, %d entries (%d bytes), %d writes (%d errors), %d quarantined",
+		s.DiskHits, s.DiskMisses, s.Disk.Entries, s.Disk.Bytes, s.Disk.Writes, s.Disk.WriteErrors, s.Disk.Quarantined)
+	if s.Disk.RemoteHits != 0 || s.Disk.RemoteMisses != 0 || s.Disk.RemoteWrites != 0 || s.Disk.RemoteDropped != 0 {
+		base += fmt.Sprintf("; remote: %d hits, %d misses (%d errors), %d writes, %d dropped",
+			s.Disk.RemoteHits, s.Disk.RemoteMisses, s.Disk.RemoteErrors, s.Disk.RemoteWrites, s.Disk.RemoteDropped)
+	}
+	return base
 }
 
 // Stats returns a snapshot of the counters.

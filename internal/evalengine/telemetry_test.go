@@ -243,3 +243,55 @@ func TestNoObserverZeroAllocOverhead(t *testing.T) {
 		t.Errorf("nil telemetry check allocates %v per run, want 0", n)
 	}
 }
+
+// statBackend reports a fixed stats snapshot and records whether the
+// engine forwarded its registry — the seam the remote tier's latency
+// histogram rides on.
+type statBackend struct {
+	memBackend
+	stats       BackendStats
+	telemetryOn bool
+}
+
+func (b *statBackend) Stats() BackendStats { return b.stats }
+
+func (b *statBackend) EnableTelemetry(*telemetry.Registry) { b.telemetryOn = true }
+
+// The backend-tier metrics — byte gauge and the Remote* family — are
+// exported straight from BackendStats, and a backend with metrics of its
+// own gets the registry forwarded.
+func TestEnableTelemetryBackendMetrics(t *testing.T) {
+	be := &statBackend{
+		memBackend: memBackend{m: make(map[Key]Eval)},
+		stats: BackendStats{
+			Entries: 3, Bytes: 4096,
+			RemoteHits: 7, RemoteMisses: 5, RemoteErrors: 2, RemoteWrites: 9, RemoteDropped: 1,
+		},
+	}
+	eng := New(Options{Backend: be})
+	defer eng.Close()
+	reg := telemetry.NewRegistry()
+	eng.EnableTelemetry(reg)
+	if !be.telemetryOn {
+		t.Fatal("registry was not forwarded to the backend")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"xpscalar_eval_disk_entries 3",
+		"xpscalar_eval_disk_entries_bytes 4096",
+		"xpscalar_eval_remote_hits_total 7",
+		"xpscalar_eval_remote_misses_total 5",
+		"xpscalar_eval_remote_errors_total 2",
+		"xpscalar_eval_remote_writes_total 9",
+		"xpscalar_eval_remote_dropped_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}

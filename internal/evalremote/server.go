@@ -1,0 +1,135 @@
+package evalremote
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/evalstore"
+)
+
+// maxLookupKeys bounds one batched lookup — far above any lockstep
+// group, low enough that a bogus request cannot turn into a disk scan.
+const maxLookupKeys = 4096
+
+// maxBodyBytes bounds a PUT or lookup body accepted by the server.
+const maxBodyBytes = 16 << 20
+
+// Source is what a cache server serves from: the read face returns a
+// completed evaluation when any local tier holds it, the write face
+// stores a record pushed by a fleet member. Implementations must be
+// safe for concurrent use.
+type Source interface {
+	Lookup(key evalengine.Key) (evalengine.Eval, bool)
+	Store(key evalengine.Key, val evalengine.Eval)
+}
+
+// EngineSource serves an engine's memory LRU backed by its local disk
+// store. It deliberately composes only LOCAL tiers: serving through the
+// engine's full backend chain would re-enter a remote client and let
+// fleet peers proxy-loop through each other, and storing through it
+// would re-fan every received PUT back into the fleet. Lookup prefers
+// the memory tier (Peek) and falls back to disk; Store memoizes into
+// the LRU and persists to disk directly.
+type EngineSource struct {
+	Engine *evalengine.Engine
+	Disk   evalengine.CacheBackend // optional local persistent tier; nil is fine
+}
+
+// Lookup implements Source.
+func (s EngineSource) Lookup(key evalengine.Key) (evalengine.Eval, bool) {
+	if s.Engine != nil {
+		if val, ok := s.Engine.Peek(key); ok {
+			return val, true
+		}
+	}
+	if s.Disk != nil {
+		return s.Disk.Get(key)
+	}
+	return evalengine.Eval{}, false
+}
+
+// Store implements Source.
+func (s EngineSource) Store(key evalengine.Key, val evalengine.Eval) {
+	if s.Engine != nil {
+		s.Engine.Memoize(key, val)
+	}
+	if s.Disk != nil {
+		s.Disk.Put(key, val)
+	}
+}
+
+// Register mounts the cache routes on mux. The record body format is
+// evalstore's exact on-disk encoding (versioned header + gob), written
+// and read through EncodeRecord/DecodeRecord. A record that fails to
+// decode is a 400; a miss is a 404; PUT trusts the fleet to address
+// records correctly (keys are content hashes of the request, not the
+// record, so the server cannot re-derive them).
+func Register(mux *http.ServeMux, src Source) {
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := evalengine.ParseKey(r.PathValue("key"))
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		val, ok := src.Lookup(key)
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		var buf bytes.Buffer
+		if err := evalstore.EncodeRecord(&buf, val); err != nil {
+			http.Error(w, "encode", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(buf.Bytes())
+	})
+
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := evalengine.ParseKey(r.PathValue("key"))
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		val, err := evalstore.DecodeRecord(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			http.Error(w, "bad record", http.StatusBadRequest)
+			return
+		}
+		src.Store(key, val)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/cache/lookup", func(w http.ResponseWriter, r *http.Request) {
+		var lr lookupRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err := dec.Decode(&lr); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if len(lr.Keys) > maxLookupKeys {
+			http.Error(w, "too many keys", http.StatusBadRequest)
+			return
+		}
+		hits := make(map[string][]byte)
+		for _, hex := range lr.Keys {
+			key, ok := evalengine.ParseKey(hex)
+			if !ok {
+				continue // a malformed key is that key's miss, not the batch's failure
+			}
+			val, ok := src.Lookup(key)
+			if !ok {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := evalstore.EncodeRecord(&buf, val); err != nil {
+				continue
+			}
+			hits[hex] = buf.Bytes()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(lookupResponse{Hits: hits})
+	})
+}

@@ -85,6 +85,7 @@ type Store struct {
 	err    error // sticky first write error, surfaced by Flush/Close
 
 	entries     atomic.Int64
+	bytes       atomic.Int64
 	writes      atomic.Uint64
 	writeErrs   atomic.Uint64
 	quarantined atomic.Uint64
@@ -118,16 +119,17 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 	return s, nil
 }
 
-// sweep removes temp files a crash left behind and counts the records
-// present. A half-written temp file is an artifact of the atomic-write
-// discipline — it was never visible under a record name — so deleting it
-// is recovery, not data loss.
+// sweep removes temp files a crash left behind and counts the records —
+// and bytes — present, so both occupancy gauges are truthful from the
+// first scrape. A half-written temp file is an artifact of the
+// atomic-write discipline — it was never visible under a record name — so
+// deleting it is recovery, not data loss.
 func (s *Store) sweep() error {
 	des, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("evalstore: %w", err)
 	}
-	var n int64
+	var n, bytes int64
 	for _, de := range des {
 		if !de.IsDir() || de.Name() == quarantineDir {
 			continue
@@ -146,9 +148,13 @@ func (s *Store) sweep() error {
 				continue
 			}
 			n++
+			if info, err := f.Info(); err == nil {
+				bytes += info.Size()
+			}
 		}
 	}
 	s.entries.Store(n)
+	s.bytes.Store(bytes)
 	return nil
 }
 
@@ -167,7 +173,7 @@ func (s *Store) Get(k evalengine.Key) (evalengine.Eval, bool) {
 		s.misses.Add(1)
 		return evalengine.Eval{}, false
 	}
-	val, err := readRecord(f)
+	val, err := DecodeRecord(f)
 	f.Close()
 	if err != nil {
 		s.quarantine(path, err)
@@ -178,8 +184,12 @@ func (s *Store) Get(k evalengine.Key) (evalengine.Eval, bool) {
 	return val, true
 }
 
-// readRecord checks the version header and decodes the payload.
-func readRecord(r io.Reader) (evalengine.Eval, error) {
+// DecodeRecord checks the version header and decodes one record payload.
+// It is the single reader of the record wire format: the disk tier uses
+// it on files, the remote tier (internal/evalremote) on HTTP bodies, so
+// the two tiers stay byte-compatible by construction and a version bump
+// orphans both at once.
+func DecodeRecord(r io.Reader) (evalengine.Eval, error) {
 	buf := make([]byte, len(header))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return evalengine.Eval{}, fmt.Errorf("evalstore: short header: %w", err)
@@ -194,10 +204,36 @@ func readRecord(r io.Reader) (evalengine.Eval, error) {
 	return rec.Eval, nil
 }
 
+// EncodeRecord writes one record — versioned header plus gob payload —
+// the inverse of DecodeRecord and the store's exact on-disk encoding.
+func EncodeRecord(w io.Writer, val evalengine.Eval) error {
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(record{Eval: val})
+}
+
+// GetBatch implements evalengine.BatchGetter with one sequential pass
+// over the requested keys — the disk tier's multi-get is a read loop, but
+// exposing it batched keeps the engine's group read-through a single
+// call into every tier shape.
+func (s *Store) GetBatch(keys []evalengine.Key) map[evalengine.Key]evalengine.Eval {
+	found := make(map[evalengine.Key]evalengine.Eval)
+	for _, k := range keys {
+		if v, ok := s.Get(k); ok {
+			found[k] = v
+		}
+	}
+	return found
+}
+
 // quarantine moves a bad record aside so it is examined once, not
 // re-parsed on every request; if even the move fails the record is
 // removed.
 func (s *Store) quarantine(path string, reason error) {
+	if info, err := os.Lstat(path); err == nil {
+		s.bytes.Add(-info.Size())
+	}
 	dst := filepath.Join(s.dir, quarantineDir, filepath.Base(path))
 	if err := os.Rename(path, dst); err != nil {
 		os.Remove(path)
@@ -246,22 +282,41 @@ func (s *Store) writeNow(k evalengine.Key, val evalengine.Eval) {
 		s.noteWriteErr(err)
 		return
 	}
-	_, statErr := os.Lstat(path)
+	var oldSize int64
+	info, statErr := os.Lstat(path)
 	existed := statErr == nil
+	if existed {
+		oldSize = info.Size()
+	}
+	var written int64
 	err := store.WriteAtomic(path, func(w io.Writer) error {
-		if _, err := io.WriteString(w, header); err != nil {
-			return err
-		}
-		return gob.NewEncoder(w).Encode(record{Eval: val})
+		cw := &countWriter{w: w}
+		err := EncodeRecord(cw, val)
+		written = cw.n
+		return err
 	})
 	if err != nil {
 		s.noteWriteErr(err)
 		return
 	}
 	s.writes.Add(1)
+	s.bytes.Add(written - oldSize)
 	if !existed {
 		s.entries.Add(1)
 	}
+}
+
+// countWriter counts the bytes written through it, so the store's byte
+// gauge tracks record sizes without a second stat.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Store) noteWriteErr(err error) {
@@ -316,8 +371,13 @@ func (s *Store) Stats() evalengine.BackendStats {
 	if n < 0 {
 		n = 0
 	}
+	b := s.bytes.Load()
+	if b < 0 {
+		b = 0
+	}
 	return evalengine.BackendStats{
 		Entries:     uint64(n),
+		Bytes:       uint64(b),
 		Writes:      s.writes.Load(),
 		WriteErrors: s.writeErrs.Load(),
 		Quarantined: s.quarantined.Load(),

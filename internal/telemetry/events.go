@@ -129,6 +129,12 @@ type RunSummary struct {
 	// informational: disk hits are evaluations served from a previous run.
 	DiskHits   uint64 `json:"disk_hits,omitempty"`
 	DiskMisses uint64 `json:"disk_misses,omitempty"`
+	// Remote-tier accounting (all zero without -cache-peers): remote hits
+	// are evaluations pulled from a fleet peer, the network subset of
+	// DiskHits; remote misses include every failure mode the client
+	// degrades to a miss (dead peer, timeout, bad record).
+	RemoteHits   uint64 `json:"remote_hits,omitempty"`
+	RemoteMisses uint64 `json:"remote_misses,omitempty"`
 }
 
 // Kind implements Event.
