@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-smoke bench-compare verify clean
+.PHONY: all build test vet race race-hot bench bench-smoke bench-compare fleet-smoke verify clean
 
 all: build
 
@@ -42,6 +42,13 @@ bench-smoke:
 # the committed recording, failing past a 15% ns/op regression.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json -benchtime 20x
+
+# fleet-smoke is the multi-process end-to-end gate: real xpserved peers
+# serving real xpscalar clients over HTTP — the warm/dead-peer cache
+# contract and the cross-process trace-propagation contract (pinned trace
+# ID, byte-identical Table 4, one merged Chrome trace).
+fleet-smoke:
+	$(GO) test ./cmd/xpscalar/ -run 'TestFleet' -count=1 -timeout 600s
 
 # verify is the pre-merge gate: static checks, a full build, the test
 # suite under the race detector, and one pass of the headline reproduction

@@ -40,8 +40,10 @@ import (
 // reusable-runner path that the evaluation engine rides, the N=8
 // lockstep kernel that batched evaluations amortize the stream over,
 // the persistent tier's disk-hit path (read + decode + verify of one
-// on-disk evaluation record), and the remote tier's hit path (one
-// loopback HTTP GET to the owning peer).
+// on-disk evaluation record), the remote tier's hit path (one loopback
+// HTTP GET to the owning peer), and the disabled-tracing guards — span
+// emission and trace-header propagation with tracing off — whose
+// allocs/op must stay exactly zero (see mustZeroAlloc).
 // A non-empty benchtime overrides the flag for that entry: the remote
 // tier's per-op cost is ~100µs of loopback HTTP, where a single
 // scheduler hiccup at 20 iterations moves the mean by half — it needs
@@ -56,7 +58,17 @@ var suite = []struct {
 	{"./internal/pipeline", "BenchmarkPipelineGCC", ""},
 	{"./internal/evalstore", "BenchmarkEvalDiskHit", ""},
 	{"./internal/evalremote", "BenchmarkEvalRemoteHit", "200x"},
+	{"./internal/tracing", "BenchmarkDisabledSpan|BenchmarkDisabledPropagation", "1000x"},
 	{".", "BenchmarkAnnealChainKernel", ""},
+}
+
+// mustZeroAlloc names benchmarks whose allocs/op is a contract, not a
+// number: the disabled tracing paths sit inside the simulation's hot loop
+// and must stay free. Any run (record or compare) where one of them
+// allocates fails outright — a threshold makes no sense for a guarantee.
+var mustZeroAlloc = map[string]bool{
+	"BenchmarkDisabledSpan":        true,
+	"BenchmarkDisabledPropagation": true,
 }
 
 // thresholdOverride widens the -compare gate for benchmarks whose cost
@@ -133,6 +145,13 @@ func main() {
 			best = keepFastest(best, results)
 		}
 		current = append(current, best...)
+	}
+
+	for _, b := range current {
+		if a, ok := b.Metrics["allocs/op"]; ok && mustZeroAlloc[b.Name] && a != 0 {
+			slog.Error("zero-alloc contract broken", "benchmark", b.Name, "allocs/op", a)
+			os.Exit(1)
+		}
 	}
 
 	if *compare != "" {

@@ -16,10 +16,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 )
 
 // buildServer compiles cmd/xpserved into a temporary directory.
@@ -33,37 +35,46 @@ func buildServer(t *testing.T) string {
 	return bin
 }
 
-// startPeer launches xpserved on an ephemeral port and waits until it
-// serves. The returned cleanup kills it hard (the graceful path is
-// xpserved's own test's concern).
-func startPeer(t *testing.T, bin, cacheDir string) (base string, kill func()) {
+// startPeerCmd launches xpserved on an ephemeral port with extra flags
+// and waits until it serves. The caller owns the process: kill it hard,
+// or SIGTERM it when the test needs the graceful path (span flush).
+func startPeerCmd(t *testing.T, bin, cacheDir string, extra ...string) (base string, cmd *exec.Cmd) {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
-		"-cache-dir", cacheDir, "-max-jobs", "1")
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
+		"-cache-dir", cacheDir, "-max-jobs", "1"}
+	args = append(args, extra...)
+	cmd = exec.Command(bin, args...)
+	stderr := &bytes.Buffer{}
+	cmd.Stderr = stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
-	}
-	kill = func() {
-		cmd.Process.Kill()
-		cmd.Wait()
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
 			base = "http://" + strings.TrimSpace(string(data))
 			if _, err := http.Get(base + "/healthz"); err == nil {
-				return base, kill
+				return base, cmd
 			}
 		}
 		if time.Now().After(deadline) {
-			kill()
+			cmd.Process.Kill()
+			cmd.Wait()
 			t.Fatalf("peer never came up\nstderr: %s", stderr.Bytes())
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// startPeer launches a plain peer; the returned cleanup kills it hard
+// (the graceful path is exercised by the propagation test).
+func startPeer(t *testing.T, bin, cacheDir string) (base string, kill func()) {
+	base, cmd := startPeerCmd(t, bin, cacheDir)
+	return base, func() {
+		cmd.Process.Kill()
+		cmd.Wait()
 	}
 }
 
@@ -206,5 +217,236 @@ func TestFleetWarmExploration(t *testing.T) {
 	}
 	if ds.RemoteHits != 0 {
 		t.Fatalf("dead-peer summary %+v reports remote hits", ds)
+	}
+}
+
+// buildXptrace compiles cmd/xptrace for the diff and merged-export legs of
+// the propagation test.
+func buildXptrace(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xptrace")
+	cmd := exec.Command("go", "build", "-o", bin, "xpscalar/cmd/xptrace")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build xptrace: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// readSpanFile loads one span stream from disk.
+func readSpanFile(t *testing.T, path string) (tracing.Meta, []tracing.Span) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta, spans, err := tracing.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta, spans
+}
+
+// TestFleetTracePropagation is the distributed-tracing contract over two
+// real processes: a cold client with a pinned trace ID explores against a
+// warm xpserved peer, both record span streams, and the two streams stitch
+// into ONE trace — the peer's serve.* handler spans carry the client's
+// trace ID and point (via remote parents) at the client's remote-tier
+// spans, which chain up through an eval span to the client's root run
+// span. Along the way the observability plumbing must stay inert: Table 4
+// stdout byte-identical to the untraced reference, and xptrace diff exit 0
+// across the propagation flags.
+func TestFleetTracePropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs three real binaries")
+	}
+	bin := buildBinary(t)
+	srvBin := buildServer(t)
+	xptraceBin := buildXptrace(t)
+	dir := t.TempDir()
+
+	// Reference: a plain local run — the byte-identity baseline.
+	reference := runExplore(t, bin, dir, "ref.jsonl")
+
+	peerSpans := filepath.Join(dir, "peer.spans")
+	base, cmd := startPeerCmd(t, srvBin, filepath.Join(dir, "peer-cache"), "-spans", peerSpans)
+	stopped := false
+	defer func() {
+		if !stopped {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	warmPeer(t, base)
+
+	// Cold client against the warm peer, joining a pinned trace ID so the
+	// assertion below needs no plumbing to learn it.
+	const traceID = "c0ffee0123456789"
+	clientSpans := filepath.Join(dir, "client.spans")
+	traced := runExplore(t, bin, dir, "traced.jsonl",
+		"-cache-peers", base, "-spans", clientSpans, "-trace-id", traceID)
+	if traced != reference {
+		t.Fatalf("propagation changed Table 4:\n%s\nvs\n%s", traced, reference)
+	}
+	ts := readSummary(t, dir, "traced.jsonl")
+	if ts.RemoteHits == 0 {
+		t.Fatalf("traced run summary %+v, want remote hits (warm peer)", ts)
+	}
+
+	// The propagation flags must be invisible to drift detection.
+	diff := exec.Command(xptraceBin, "diff",
+		filepath.Join(dir, "ref.jsonl"), filepath.Join(dir, "traced.jsonl"))
+	if out, err := diff.CombinedOutput(); err != nil {
+		t.Fatalf("diff flagged a propagating run as drift: %v\n%s", err, out)
+	}
+
+	// Graceful stop: SIGTERM makes the peer drain and flush its span stream.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("peer exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("peer hung on SIGTERM")
+	}
+	stopped = true
+
+	cm, cspans := readSpanFile(t, clientSpans)
+	if cm.TraceID != traceID {
+		t.Fatalf("client stream trace ID %q, want the pinned %q", cm.TraceID, traceID)
+	}
+	if cm.OriginUnixNs == 0 {
+		t.Fatal("client stream has no wall-clock origin")
+	}
+	clientByID := map[tracing.SpanID]tracing.Span{}
+	remoteSpans := map[tracing.SpanID]bool{}
+	for _, s := range cspans {
+		clientByID[s.ID] = s
+		if s.Kind == tracing.KindRemoteGet || s.Kind == tracing.KindRemoteLookup {
+			remoteSpans[s.ID] = true
+		}
+	}
+	if len(remoteSpans) == 0 {
+		t.Fatal("client recorded no remote-tier spans")
+	}
+
+	sm, sspans := readSpanFile(t, peerSpans)
+	if sm.Tool != "xpserved" {
+		t.Fatalf("peer stream tool %q", sm.Tool)
+	}
+	if sm.TraceID == "" || sm.TraceID == traceID {
+		t.Fatalf("peer stream trace ID %q: want its own, distinct from the client's", sm.TraceID)
+	}
+
+	// Every serve.* span the client's requests caused must carry the
+	// client's trace ID and a remote parent resolving to one of the
+	// client's remote-tier spans; at least one such chain must pass through
+	// an eval span and top out at the client's root run span.
+	linked, throughEval, toRun := 0, 0, 0
+	for _, s := range sspans {
+		if !strings.HasPrefix(s.Kind, "serve.") || s.Trace != traceID {
+			continue
+		}
+		if !remoteSpans[s.RemoteParent] {
+			t.Fatalf("server span %+v: remote parent is not a client remote-tier span", s)
+		}
+		linked++
+		cur := clientByID[s.RemoteParent]
+		sawEval := false
+		for {
+			if strings.HasPrefix(cur.Kind, "eval.") {
+				sawEval = true
+			}
+			if cur.Parent == 0 {
+				break
+			}
+			next, ok := clientByID[cur.Parent]
+			if !ok {
+				t.Fatalf("client span %d has a dangling parent %d", cur.ID, cur.Parent)
+			}
+			cur = next
+		}
+		if sawEval {
+			throughEval++
+		}
+		if cur.Kind == tracing.KindRun {
+			toRun++
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no server spans continued the client's trace")
+	}
+	if throughEval == 0 || toRun == 0 {
+		t.Fatalf("of %d linked server spans, %d chain through an eval span and %d reach the client's run root",
+			linked, throughEval, toRun)
+	}
+
+	// One merged Chrome trace: both processes named, and flow arrows
+	// crossing from the client's pid to the peer's.
+	merged := filepath.Join(dir, "merged.json")
+	export := exec.Command(xptraceBin, "export", "-o", merged, clientSpans, peerSpans)
+	if out, err := export.CombinedOutput(); err != nil {
+		t.Fatalf("xptrace export: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			ID   int            `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	procs := map[string]int{}
+	spansPerPid := map[int]int{}
+	flowSrc, flowDst := map[int]int{}, map[int]int{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			name, _ := e.Args["name"].(string)
+			procs[name] = e.Pid
+		case e.Ph == "X":
+			spansPerPid[e.Pid]++
+		case e.Ph == "s":
+			flowSrc[e.ID] = e.Pid
+		case e.Ph == "f":
+			flowDst[e.ID] = e.Pid
+		}
+	}
+	cpid, ok := procs["xpscalar"]
+	if !ok {
+		t.Fatalf("merged trace names processes %v, want xpscalar", procs)
+	}
+	spid, ok := procs["xpserved"]
+	if !ok {
+		t.Fatalf("merged trace names processes %v, want xpserved", procs)
+	}
+	if spansPerPid[cpid] == 0 || spansPerPid[spid] == 0 {
+		t.Fatalf("merged trace span counts per pid %v: want both processes populated", spansPerPid)
+	}
+	if len(flowSrc) == 0 {
+		t.Fatal("merged trace has no flow arrows")
+	}
+	for id, src := range flowSrc {
+		dst, ok := flowDst[id]
+		if !ok {
+			t.Fatalf("flow %d has no finish event", id)
+		}
+		if src != cpid || dst != spid {
+			t.Fatalf("flow %d runs pid %d -> %d, want client %d -> server %d", id, src, dst, cpid, spid)
+		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -51,6 +52,7 @@ import (
 	"xpscalar/internal/evalremote"
 	"xpscalar/internal/session"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 	"xpscalar/internal/xpserve"
 )
 
@@ -60,11 +62,12 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the bound listen address to this file once serving")
-		maxJobs  = flag.Int("max-jobs", 2, "jobs running concurrently")
-		backlog  = flag.Int("backlog", 16, "queued jobs accepted beyond the running ones")
-		lockstep = flag.Bool("lockstep", true, "simulate grouped cache misses in lockstep over a shared instruction stream")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		maxJobs   = flag.Int("max-jobs", 2, "jobs running concurrently")
+		backlog   = flag.Int("backlog", 16, "queued jobs accepted beyond the running ones")
+		lockstep  = flag.Bool("lockstep", true, "simulate grouped cache misses in lockstep over a shared instruction stream")
+		spansPath = flag.String("spans", "", "record execution spans (jobs, cache serves, continued client traces) to this file on shutdown")
 	)
 	var rcfg cli.RunConfig
 	rcfg.RegisterFlags()
@@ -84,8 +87,16 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// With -spans, every handler and job records into one process-wide
+	// recorder; its stream (written on shutdown) carries this server's
+	// trace ID plus the trace IDs of every client whose requests it served.
+	var rec *tracing.Recorder
+	if *spansPath != "" {
+		rec = tracing.NewRecorder()
+	}
 	sess := session.New(session.Options{
-		Engine: evalengine.Options{DisableLockstep: !*lockstep, Backend: backend},
+		Engine:   evalengine.Options{DisableLockstep: !*lockstep, Backend: backend},
+		Recorder: rec,
 	})
 	// Last out: by the time this runs the scheduler has drained, so every
 	// evaluation any job computed is flushed to the disk tier.
@@ -99,6 +110,35 @@ func run(ctx context.Context) error {
 	sess.EnableTelemetry(reg)
 	sched := xpserve.New(sess, xpserve.Options{MaxJobs: *maxJobs, Backlog: *backlog})
 	sched.EnableTelemetry(reg)
+
+	// Readiness: beyond the scheduler's own admission state, a disk tier
+	// whose directory vanished or a fleet whose peers have ALL tripped the
+	// breaker flips /readyz — /healthz (liveness) stays green throughout.
+	var probes []xpserve.ReadyProbe
+	if ccfg.Dir != "" {
+		dir := ccfg.Dir
+		probes = append(probes, xpserve.ReadyProbe{Name: "disk", Check: func() error {
+			_, err := os.Stat(dir)
+			return err
+		}})
+	}
+	if rc := ccfg.Remote(); rc != nil {
+		probes = append(probes, xpserve.ReadyProbe{Name: "remote", Check: func() error {
+			down, total := rc.Down()
+			if total > 0 && down == total {
+				return fmt.Errorf("all %d cache peers down", total)
+			}
+			return nil
+		}})
+	}
+	sched.SetReadinessProbes(probes...)
+
+	// The fleet poller watches the same peer set the cache shards over.
+	if peers := ccfg.PeerList(); len(peers) > 0 {
+		fleet := xpserve.NewFleet(sched, peers, xpserve.FleetOptions{})
+		sched.SetFleet(fleet)
+		fleet.EnableTelemetry(reg)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -114,7 +154,7 @@ func run(ctx context.Context) error {
 	// + its own disk store): handing them the full backend chain would
 	// let fleet peers proxy-loop through each other.
 	mux := http.NewServeMux()
-	evalremote.Register(mux, evalremote.EngineSource{Engine: sess.Engine(), Disk: ccfg.Disk()})
+	evalremote.Register(mux, evalremote.EngineSource{Engine: sess.Engine(), Disk: ccfg.Disk()}, rec)
 	mux.Handle("/", sched.Handler(reg))
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
@@ -133,6 +173,11 @@ func run(ctx context.Context) error {
 		if err := srv.Shutdown(shCtx); err != nil {
 			return err
 		}
+		if rec != nil {
+			if err := writeSpans(*spansPath, rec); err != nil {
+				return err
+			}
+		}
 		slog.Info("drained", "stats", sess.Stats().String())
 		return nil
 	case err := <-errc:
@@ -141,4 +186,24 @@ func run(ctx context.Context) error {
 		}
 		return err
 	}
+}
+
+// writeSpans flushes the server's span stream, headed by its trace ID and
+// time origin so multi-process exports can stitch it with client streams.
+func writeSpans(path string, rec *tracing.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans := rec.Spans()
+	meta := tracing.Meta{Tool: "xpserved", TraceID: rec.TraceID(), OriginUnixNs: rec.Origin()}
+	if err := tracing.WriteSpansMeta(f, meta, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	slog.Info("spans written", "spans", len(spans), "path", path)
+	return nil
 }

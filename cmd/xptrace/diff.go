@@ -38,6 +38,10 @@ var ignoredFlags = map[string]bool{
 	// and stored — a warm-cache or fleet-warm run is bit-identical to a
 	// cold one, and diffing the two is exactly how that claim is checked.
 	"cache-dir": true, "cache-peers": true,
+	// Trace-context propagation stamps IDs on spans and headers; it never
+	// reaches the simulation, so a propagating run must diff clean against
+	// a plain one.
+	"trace-id": true,
 }
 
 func diffCmd(args []string) (bool, error) {

@@ -1,0 +1,113 @@
+// The fleet subcommand: render the merged fleet view an xpserved serves
+// at /v1/fleet — live from a running server, or from a saved document —
+// as one table, a row per process. This is the operator's glance: who is
+// up, who holds the jobs, how warm each cache tier is, and which build
+// each peer runs.
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"xpscalar/internal/report"
+	"xpscalar/internal/xpserve"
+)
+
+func fleetCmd(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fleet: want one server base URL or saved /v1/fleet file")
+	}
+	st, err := loadFleet(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return writeFleetTable(os.Stdout, st)
+}
+
+// loadFleet fetches the fleet document from a server (URL argument) or a
+// file (anything else).
+func loadFleet(src string) (xpserve.FleetStatus, error) {
+	var st xpserve.FleetStatus
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := strings.TrimRight(src, "/")
+		if !strings.HasSuffix(url, "/v1/fleet") {
+			url += "/v1/fleet"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return st, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return st, fmt.Errorf("fleet: %s answered %d", url, resp.StatusCode)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return st, err
+		}
+		r = f
+	}
+	defer r.Close()
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return st, fmt.Errorf("fleet: decoding: %w", err)
+	}
+	return st, nil
+}
+
+// writeFleetTable renders the fleet document: a totals line, then one row
+// per process in document order (self first, then peers as polled).
+func writeFleetTable(w io.Writer, st xpserve.FleetStatus) error {
+	fmt.Fprintf(w, "Fleet: %d processes, %d/%d peers reachable\n",
+		1+st.Reachable, st.Reachable, len(st.Peers))
+	fmt.Fprintf(w, "Totals: jobs %dq/%dr/%dd/%df/%dc; cache %d requests, %d hits, %d disk hits, %d misses, %d entries, %d disk bytes\n\n",
+		st.Jobs.Queued, st.Jobs.Running, st.Jobs.Done, st.Jobs.Failed, st.Jobs.Cancelled,
+		st.Cache.Requests, st.Cache.Hits, st.Cache.DiskHits, st.Cache.Misses,
+		st.Cache.MemEntries+st.Cache.DiskEntries, st.Cache.DiskBytes)
+
+	tab := &report.Table{Header: []string{
+		"process", "up", "jobs q/r/d/f/c", "slots", "hits", "disk", "misses", "entries", "bytes", "build",
+	}}
+	addRow := func(name string, up string, s *xpserve.SelfStatus, errMsg string) {
+		if s == nil {
+			tab.AddRow(name, up, "—", "—", "—", "—", "—", "—", "—", errMsg)
+			return
+		}
+		build := s.GoVersion
+		if s.Revision != "" {
+			rev := s.Revision
+			if len(rev) > 8 {
+				rev = rev[:8]
+			}
+			build += " " + rev
+		}
+		tab.AddRow(name, up,
+			fmt.Sprintf("%d/%d/%d/%d/%d", s.Jobs.Queued, s.Jobs.Running, s.Jobs.Done, s.Jobs.Failed, s.Jobs.Cancelled),
+			fmt.Sprintf("%d/%d", s.Capacity.Running, s.Capacity.MaxJobs),
+			fmt.Sprint(s.Cache.Hits), fmt.Sprint(s.Cache.DiskHits), fmt.Sprint(s.Cache.Misses),
+			fmt.Sprint(s.Cache.MemEntries+s.Cache.DiskEntries), fmt.Sprint(s.Cache.DiskBytes),
+			build)
+	}
+	self := st.Self
+	addRow("self ("+self.Tool+")", "yes", &self, "")
+	for _, p := range st.Peers {
+		up, errMsg := "yes", ""
+		if !p.Reachable {
+			up, errMsg = "NO", p.Error
+		}
+		addRow(p.Peer, up, p.Status, errMsg)
+	}
+	return tab.Write(w)
+}

@@ -1,0 +1,62 @@
+// The fleet table view against a fixed /v1/fleet document: the rendering
+// is golden-tested byte for byte, and the loader accepts both a file and
+// a live server URL.
+
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFleetTableGolden(t *testing.T) {
+	st, err := loadFleet(filepath.Join("testdata", "fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeFleetTable(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "fleet.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (set UPDATE_GOLDEN=1 to regenerate): %v\ngot:\n%s", err, buf.Bytes())
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fleet table drifted from golden\n--- got\n%s--- want\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFleetLoadFromURL: the loader hits <base>/v1/fleet on a URL argument.
+func TestFleetLoadFromURL(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("testdata", "fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path = r.URL.Path
+		w.Write(doc)
+	}))
+	defer srv.Close()
+	st, err := loadFleet(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "/v1/fleet" {
+		t.Errorf("loader fetched %q, want /v1/fleet", path)
+	}
+	if st.Self.PID != 4242 || len(st.Peers) != 2 {
+		t.Errorf("decoded document wrong: %+v", st)
+	}
+}

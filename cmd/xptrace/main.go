@@ -2,9 +2,10 @@
 // behind: the JSONL run trace written by -trace and the hierarchical span
 // stream written by -spans.
 //
-//	xptrace report [-spans file] TRACE.jsonl
+//	xptrace report [-spans file ...] TRACE.jsonl
 //	xptrace diff TRACE_A.jsonl TRACE_B.jsonl
-//	xptrace export [-o out.json] SPANS
+//	xptrace export [-o out.json] SPANS [SPANS ...]
+//	xptrace fleet URL|FILE
 //	xptrace cpi TRACE.jsonl
 //	xptrace intervals INTERVALS.jsonl
 //
@@ -21,8 +22,18 @@
 // the executable form of that claim. Exit status: 0 no drift, 2 drift,
 // 1 error.
 //
-// export converts a span stream to Chrome trace-event JSON loadable in
-// chrome://tracing or Perfetto, one named thread per worker track.
+// export converts one or more span streams to Chrome trace-event JSON
+// loadable in chrome://tracing or Perfetto, one named thread per worker
+// track. Given several streams — say a client's -spans file and the
+// -spans file of the xpserved peer that served it — export stitches them
+// into ONE trace: each process gets its own track group, and spans that
+// continued another process's trace (remote cache serves) are joined to
+// their cross-process parent with flow arrows.
+//
+// fleet renders the merged fleet view of a running xpserved — either live
+// (pass the server's base URL) or from a saved /v1/fleet document (pass a
+// file path): one row per process with health, job census, cache tiers,
+// and build identity.
 //
 // cpi renders the CPI-stack decomposition a -cpi run attached to its
 // evaluation events: one row per (workload, configuration), every
@@ -63,6 +74,8 @@ func main() {
 		drift, err = diffCmd(os.Args[2:])
 	case "export":
 		err = exportCmd(os.Args[2:])
+	case "fleet":
+		err = fleetCmd(os.Args[2:])
 	case "cpi":
 		err = cpiCmd(os.Args[2:])
 	case "intervals":
@@ -86,32 +99,35 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  xptrace report [-spans file] TRACE.jsonl    digest one run trace
-  xptrace diff TRACE_A.jsonl TRACE_B.jsonl    compare two run traces (exit 2 on drift)
-  xptrace export [-o out.json] SPANS          span stream -> Chrome trace JSON
-  xptrace cpi TRACE.jsonl                     CPI-stack breakdown of a -cpi run
-  xptrace intervals INTERVALS.jsonl           phase timeline of a -intervals run
+  xptrace report [-spans file ...] TRACE.jsonl  digest one run trace
+  xptrace diff TRACE_A.jsonl TRACE_B.jsonl      compare two run traces (exit 2 on drift)
+  xptrace export [-o out.json] SPANS [SPANS...] span stream(s) -> one Chrome trace JSON
+  xptrace fleet URL|FILE                        fleet status table (live server or saved /v1/fleet)
+  xptrace cpi TRACE.jsonl                       CPI-stack breakdown of a -cpi run
+  xptrace intervals INTERVALS.jsonl             phase timeline of a -intervals run
 `)
 }
 
-// exportCmd converts a span stream to Chrome trace-event JSON.
+// exportCmd converts one or more span streams to Chrome trace-event
+// JSON. One stream takes the single-process path unchanged; several are
+// stitched by trace ID into one multi-process trace, a track group per
+// stream in argument order.
 func exportCmd(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("export: want exactly one span-stream file, got %d args", fs.NArg())
+	if fs.NArg() < 1 {
+		return fmt.Errorf("export: want one or more span-stream files")
 	}
-	f, err := os.Open(fs.Arg(0))
+	streams, err := loadStreams(fs.Args())
 	if err != nil {
 		return err
 	}
-	meta, spans, err := tracing.ReadSpans(f)
-	f.Close()
-	if err != nil {
-		return err
+	total := 0
+	for _, s := range streams {
+		total += len(s.Spans)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -120,14 +136,37 @@ func exportCmd(args []string) error {
 			return err
 		}
 	}
-	if err := tracing.WriteChromeTrace(w, meta.Tool, spans); err != nil {
+	if len(streams) == 1 {
+		err = tracing.WriteChromeTrace(w, streams[0].Meta.Tool, streams[0].Spans)
+	} else {
+		err = tracing.WriteChromeTraceMerged(w, streams)
+	}
+	if err != nil {
 		return err
 	}
 	if *out != "" {
 		if err := w.Close(); err != nil {
 			return err
 		}
-		slog.Info("chrome trace written", "path", *out, "spans", len(spans))
+		slog.Info("chrome trace written", "path", *out, "streams", len(streams), "spans", total)
 	}
 	return nil
+}
+
+// loadStreams reads span-stream files in argument order.
+func loadStreams(paths []string) ([]tracing.Stream, error) {
+	streams := make([]tracing.Stream, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		meta, spans, err := tracing.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		streams = append(streams, tracing.Stream{Meta: meta, Spans: spans})
+	}
+	return streams, nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"xpscalar/internal/report"
 	"xpscalar/internal/tracing"
@@ -19,9 +20,19 @@ import (
 // cut into this many equal slices.
 const buckets = 10
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func reportCmd(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	spansPath := fs.String("spans", "", "span-stream file for the phase time breakdown")
+	var spansPaths multiFlag
+	fs.Var(&spansPaths, "spans", "span-stream file for the phase time breakdown (repeatable: one per process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,17 +52,24 @@ func reportCmd(args []string) error {
 	printCacheTimeline(t)
 	printSummary(t)
 
-	if *spansPath != "" {
-		f, err := os.Open(*spansPath)
+	for _, path := range spansPaths {
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		_, spans, err := tracing.ReadSpans(f)
+		meta, spans, err := tracing.ReadSpans(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nPhase time breakdown (%d spans)\n", len(spans))
+		label := meta.Tool
+		if label == "" {
+			label = path
+		}
+		if len(spansPaths) > 1 && meta.TraceID != "" {
+			label += " trace " + meta.TraceID
+		}
+		fmt.Printf("\nPhase time breakdown: %s (%d spans)\n", label, len(spans))
 		if err := tracing.WriteAttribution(os.Stdout, spans); err != nil {
 			return err
 		}

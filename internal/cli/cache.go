@@ -28,7 +28,8 @@ type CacheConfig struct {
 	// ("" for no remote tier).
 	Peers string
 
-	disk *evalstore.Store
+	disk   *evalstore.Store
+	remote *evalremote.Client
 }
 
 // RegisterFlags registers -cache-dir and -cache-peers on the default
@@ -57,13 +58,7 @@ func (c *CacheConfig) Open() (evalengine.CacheBackend, error) {
 		tiers = append(tiers, s)
 	}
 	if c.Peers != "" {
-		var peers []string
-		for _, p := range strings.Split(c.Peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peers = append(peers, p)
-			}
-		}
-		cl, err := evalremote.NewClient(peers, evalremote.Options{})
+		cl, err := evalremote.NewClient(c.PeerList(), evalremote.Options{})
 		if err != nil {
 			if c.disk != nil {
 				c.disk.Close()
@@ -71,6 +66,7 @@ func (c *CacheConfig) Open() (evalengine.CacheBackend, error) {
 			}
 			return nil, err
 		}
+		c.remote = cl
 		tiers = append(tiers, cl)
 	}
 	return evalengine.Tiered(tiers...), nil
@@ -84,4 +80,19 @@ func (c *CacheConfig) Disk() evalengine.CacheBackend {
 		return nil
 	}
 	return c.disk
+}
+
+// Remote returns the remote-tier client Open created, or nil — the seam
+// readiness probes use to ask how much of the fleet is answering.
+func (c *CacheConfig) Remote() *evalremote.Client { return c.remote }
+
+// PeerList splits -cache-peers into its individual peer URLs.
+func (c *CacheConfig) PeerList() []string {
+	var peers []string
+	for _, p := range strings.Split(c.Peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }

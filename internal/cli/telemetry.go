@@ -53,6 +53,11 @@ type TelemetryConfig struct {
 	IntervalsPath string
 	// IntervalSize is the sampling period in committed instructions.
 	IntervalSize int
+	// TraceID joins this run to an existing trace instead of generating a
+	// fresh ID — the cross-process correlation seam: spans, trace events
+	// and remote-cache requests all carry it, so a fleet of processes
+	// started with the same ID merges into one causally-linked view.
+	TraceID string
 }
 
 // RegisterFlags registers -trace, -spans, -metrics-addr, -progress, -cpi,
@@ -66,6 +71,7 @@ func (c *TelemetryConfig) RegisterFlags() {
 	flag.BoolVar(&c.CPI, "cpi", false, "attribute every simulated cycle to a CPI-stack bucket (analyze with xptrace cpi)")
 	flag.StringVar(&c.IntervalsPath, "intervals", "", "write JSONL interval snapshots to this file (implies -cpi; analyze with xptrace intervals)")
 	flag.IntVar(&c.IntervalSize, "interval-size", 1000, "interval sampling period in committed instructions (with -intervals)")
+	flag.StringVar(&c.TraceID, "trace-id", "", "join an existing trace ID (16 hex chars) instead of generating one")
 }
 
 // Telemetry is one run's observability session: the trace sink, the
@@ -81,6 +87,7 @@ type Telemetry struct {
 
 	tool      string
 	spansPath string
+	traceID   string
 	rec       *tracing.Recorder
 	root      tracing.Handle
 	runSpan   tracing.Span
@@ -128,6 +135,14 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 	if cfg.SpansPath != "" {
 		t.spansPath = cfg.SpansPath
 		t.rec = tracing.NewRecorder()
+		if cfg.TraceID != "" {
+			t.rec.SetTraceID(cfg.TraceID)
+		}
+		t.traceID = t.rec.TraceID()
+	} else if cfg.TraceID != "" {
+		// No span file, but the run still joins the trace: events and
+		// outbound cache requests carry the ID.
+		t.traceID = cfg.TraceID
 	}
 	if cfg.MetricsAddr != "" {
 		reg := telemetry.Default()
@@ -146,6 +161,7 @@ func StartTelemetry(tool string, sess *session.Session, cfg TelemetryConfig) (*T
 			return t, err
 		}
 		t.sink = sink
+		sink.SetTraceID(t.traceID)
 		sink.Emit(manifest(tool))
 		obs := evalObserver{sink}
 		sess.SetEvalObserver(obs)
@@ -392,14 +408,17 @@ func (t *Telemetry) writeIntervals() error {
 	return nil
 }
 
-// writeSpans flushes the recorded span stream to the -spans file.
+// writeSpans flushes the recorded span stream to the -spans file. The
+// stream header carries the trace ID and time origin, which is what lets
+// a multi-file export stitch this process's spans into a fleet view.
 func (t *Telemetry) writeSpans() error {
 	f, err := os.Create(t.spansPath)
 	if err != nil {
 		return err
 	}
 	spans := t.rec.Spans()
-	if err := tracing.WriteSpans(f, t.tool, spans); err != nil {
+	meta := tracing.Meta{Tool: t.tool, TraceID: t.rec.TraceID(), OriginUnixNs: t.rec.Origin()}
+	if err := tracing.WriteSpansMeta(f, meta, spans); err != nil {
 		f.Close()
 		return err
 	}

@@ -12,7 +12,11 @@
 
 package evalengine
 
-import "xpscalar/internal/telemetry"
+import (
+	"context"
+
+	"xpscalar/internal/telemetry"
+)
 
 // BatchGetter is the optional bulk-read face of a CacheBackend: given a
 // set of keys it returns the subset it holds. EvaluateBatch uses it to
@@ -23,6 +27,29 @@ type BatchGetter interface {
 	GetBatch(keys []Key) map[Key]Eval
 }
 
+// CtxGetter is the optional context-aware read face of a CacheBackend.
+// Tiers that leave the process (the remote client) implement it to pick
+// up the caller's trace context — span parentage and propagation headers
+// for the request they issue. The engine prefers it over Get whenever the
+// backend offers it; the semantics are otherwise identical.
+type CtxGetter interface {
+	GetCtx(ctx context.Context, key Key) (Eval, bool)
+}
+
+// CtxBatchGetter is the context-aware variant of BatchGetter.
+type CtxBatchGetter interface {
+	GetBatchCtx(ctx context.Context, keys []Key) map[Key]Eval
+}
+
+// backendGet reads one key from a backend, routing through its
+// context-aware face when it has one.
+func backendGet(ctx context.Context, be CacheBackend, key Key) (Eval, bool) {
+	if cg, ok := be.(CtxGetter); ok {
+		return cg.GetCtx(ctx, key)
+	}
+	return be.Get(key)
+}
+
 // backendTelemetry is implemented by backends that export metrics of
 // their own beyond what BackendStats carries (the remote client's
 // per-request latency histogram, say). Engine.EnableTelemetry forwards
@@ -31,15 +58,19 @@ type backendTelemetry interface {
 	EnableTelemetry(reg *telemetry.Registry)
 }
 
-// backendGetBatch bulk-reads keys from a backend, using its native
-// GetBatch when it has one and a per-key Get loop otherwise.
-func backendGetBatch(be CacheBackend, keys []Key) map[Key]Eval {
+// backendGetBatch bulk-reads keys from a backend, using its native batch
+// face when it has one (context-aware preferred) and a per-key Get loop
+// otherwise.
+func backendGetBatch(ctx context.Context, be CacheBackend, keys []Key) map[Key]Eval {
+	if bg, ok := be.(CtxBatchGetter); ok {
+		return bg.GetBatchCtx(ctx, keys)
+	}
 	if bg, ok := be.(BatchGetter); ok {
 		return bg.GetBatch(keys)
 	}
 	found := make(map[Key]Eval)
 	for _, k := range keys {
-		if v, ok := be.Get(k); ok {
+		if v, ok := backendGet(ctx, be, k); ok {
 			found[k] = v
 		}
 	}
@@ -76,8 +107,15 @@ type tiered struct {
 
 // Get implements CacheBackend.
 func (t *tiered) Get(key Key) (Eval, bool) {
+	return t.GetCtx(context.Background(), key)
+}
+
+// GetCtx implements CtxGetter: the caller's trace context flows into
+// every tier that can use it (the remote client's request spans and
+// propagation headers).
+func (t *tiered) GetCtx(ctx context.Context, key Key) (Eval, bool) {
 	for i, tier := range t.tiers {
-		if val, ok := tier.Get(key); ok {
+		if val, ok := backendGet(ctx, tier, key); ok {
 			for _, faster := range t.tiers[:i] {
 				faster.Put(key, val)
 			}
@@ -90,13 +128,19 @@ func (t *tiered) Get(key Key) (Eval, bool) {
 // GetBatch implements BatchGetter: each tier is asked once for the keys
 // still unresolved, and hits are promoted exactly as Get promotes them.
 func (t *tiered) GetBatch(keys []Key) map[Key]Eval {
+	return t.GetBatchCtx(context.Background(), keys)
+}
+
+// GetBatchCtx implements CtxBatchGetter; see GetCtx for why the context
+// flows through.
+func (t *tiered) GetBatchCtx(ctx context.Context, keys []Key) map[Key]Eval {
 	found := make(map[Key]Eval)
 	remaining := keys
 	for i, tier := range t.tiers {
 		if len(remaining) == 0 {
 			break
 		}
-		hits := backendGetBatch(tier, remaining)
+		hits := backendGetBatch(ctx, tier, remaining)
 		if len(hits) == 0 {
 			continue
 		}

@@ -100,7 +100,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, dst []Eval, cfgs []sim.Confi
 		for j, i := range owned {
 			keys[j] = claims[i].key
 		}
-		found = backendGetBatch(be, keys)
+		found = backendGetBatch(tracing.ChildContext(ctx, sp), be, keys)
 	}
 	for _, i := range owned {
 		me := claims[i].entry

@@ -677,7 +677,7 @@ func (e *Engine) Evaluate(ctx context.Context, cfg sim.Config, p workload.Profil
 	// observable as its own outcome class.
 	be := e.tier()
 	if be != nil {
-		if val, ok := be.Get(key); ok {
+		if val, ok := backendGet(tracing.ChildContext(ctx, sp), be, key); ok {
 			e.diskHits.Add(1)
 			me.val = val
 			close(me.ready)

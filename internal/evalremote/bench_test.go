@@ -11,7 +11,7 @@ import (
 func startBenchPeer(b *testing.B, src Source) *httptest.Server {
 	b.Helper()
 	mux := http.NewServeMux()
-	Register(mux, src)
+	Register(mux, src, nil)
 	srv := httptest.NewServer(mux)
 	b.Cleanup(srv.Close)
 	return srv

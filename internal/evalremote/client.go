@@ -16,6 +16,7 @@ import (
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/evalstore"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 )
 
 // Options tunes a Client. The zero value selects defaults sized so that
@@ -207,17 +208,30 @@ func (c *Client) observe(start time.Time) {
 // peer. Every failure — breaker open, saturation, transport error past
 // the retry budget, undecodable record — is a miss, never an error.
 func (c *Client) Get(k evalengine.Key) (evalengine.Eval, bool) {
+	return c.GetCtx(context.Background(), k)
+}
+
+// GetCtx implements evalengine.CtxGetter: the same lookup, but the
+// caller's trace context flows in — the round trip gets a remote.get span
+// under the context's current span, and the request carries propagation
+// headers so the owning peer's handler spans join the same trace. With
+// tracing off the context costs one branch and nothing else.
+func (c *Client) GetCtx(ctx context.Context, k evalengine.Key) (evalengine.Eval, bool) {
 	p := c.peers[ownerOf(c.ring, k)]
 	if !p.available() || !c.acquire() {
 		c.misses.Add(1)
 		return evalengine.Eval{}, false
 	}
 	defer c.release()
+	th := tracing.FromContext(ctx)
+	sp := th.Begin(tracing.KindRemoteGet, p.base, 1)
+	defer th.End(sp)
+	ctx = tracing.ChildContext(ctx, sp)
 	start := time.Now()
-	val, found, err := c.getOnce(p, k)
+	val, found, err := c.getOnce(ctx, p, k)
 	if err != nil && c.retryToken() {
 		time.Sleep(c.o.Backoff)
-		val, found, err = c.getOnce(p, k)
+		val, found, err = c.getOnce(ctx, p, k)
 	}
 	c.observe(start)
 	if err != nil {
@@ -236,13 +250,18 @@ func (c *Client) Get(k evalengine.Key) (evalengine.Eval, bool) {
 	return val, true
 }
 
-func (c *Client) getOnce(p *peer, k evalengine.Key) (evalengine.Eval, bool, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.o.Timeout)
+func (c *Client) getOnce(ctx context.Context, p *peer, k evalengine.Key) (evalengine.Eval, bool, error) {
+	// The HTTP deadline stays detached from the run context on purpose —
+	// cache lookups must never inherit a nearly expired run deadline and
+	// turn it into a peer failure — but the trace context still rides
+	// along as headers.
+	rctx, cancel := context.WithTimeout(context.Background(), c.o.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/v1/cache/"+k.String(), nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.base+"/v1/cache/"+k.String(), nil)
 	if err != nil {
 		return evalengine.Eval{}, false, err
 	}
+	tracing.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return evalengine.Eval{}, false, err
@@ -279,26 +298,36 @@ type lookupResponse struct {
 // owning peer and each group is one POST /v1/cache/lookup. Failure
 // semantics match Get — a peer that cannot answer contributes misses.
 func (c *Client) GetBatch(keys []evalengine.Key) map[evalengine.Key]evalengine.Eval {
+	return c.GetBatchCtx(context.Background(), keys)
+}
+
+// GetBatchCtx implements evalengine.CtxBatchGetter: one remote.lookup
+// span and one set of propagation headers per owning-peer group.
+func (c *Client) GetBatchCtx(ctx context.Context, keys []evalengine.Key) map[evalengine.Key]evalengine.Eval {
 	found := make(map[evalengine.Key]evalengine.Eval)
 	groups := make(map[int][]evalengine.Key)
 	for _, k := range keys {
 		pi := ownerOf(c.ring, k)
 		groups[pi] = append(groups[pi], k)
 	}
+	th := tracing.FromContext(ctx)
 	for pi, group := range groups {
 		p := c.peers[pi]
 		if !p.available() || !c.acquire() {
 			c.misses.Add(uint64(len(group)))
 			continue
 		}
+		sp := th.Begin(tracing.KindRemoteLookup, p.base, int64(len(group)))
+		gctx := tracing.ChildContext(ctx, sp)
 		start := time.Now()
-		hits, err := c.lookupOnce(p, group)
+		hits, err := c.lookupOnce(gctx, p, group)
 		if err != nil && c.retryToken() {
 			time.Sleep(c.o.Backoff)
-			hits, err = c.lookupOnce(p, group)
+			hits, err = c.lookupOnce(gctx, p, group)
 		}
 		c.observe(start)
 		c.release()
+		th.End(sp)
 		if err != nil {
 			p.noteFailure(int32(c.o.FailThreshold), c.o.Cooldown)
 			c.errors.Add(1)
@@ -327,7 +356,7 @@ func (c *Client) GetBatch(keys []evalengine.Key) map[evalengine.Key]evalengine.E
 	return found
 }
 
-func (c *Client) lookupOnce(p *peer, keys []evalengine.Key) (map[string][]byte, error) {
+func (c *Client) lookupOnce(ctx context.Context, p *peer, keys []evalengine.Key) (map[string][]byte, error) {
 	hexKeys := make([]string, len(keys))
 	for i, k := range keys {
 		hexKeys[i] = k.String()
@@ -336,13 +365,14 @@ func (c *Client) lookupOnce(p *peer, keys []evalengine.Key) (map[string][]byte, 
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.o.Timeout)
+	rctx, cancel := context.WithTimeout(context.Background(), c.o.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+"/v1/cache/lookup", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, p.base+"/v1/cache/lookup", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tracing.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -481,6 +511,27 @@ func (c *Client) Stats() evalengine.BackendStats {
 		RemoteWrites:  c.writes.Load(),
 		RemoteDropped: c.dropped.Load(),
 	}
+}
+
+// Peers returns the configured peer base URLs, in construction order.
+func (c *Client) Peers() []string {
+	out := make([]string, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = p.base
+	}
+	return out
+}
+
+// Down reports how many peers are currently skipped by the failure
+// breaker, alongside the configured total — the readiness probe's view of
+// remote-tier availability.
+func (c *Client) Down() (down, total int) {
+	for _, p := range c.peers {
+		if !p.available() {
+			down++
+		}
+	}
+	return down, len(c.peers)
 }
 
 // EnableTelemetry registers the client's own metrics: the per-request

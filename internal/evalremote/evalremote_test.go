@@ -67,7 +67,7 @@ func (s *mapSource) len() int {
 func startPeer(t *testing.T, src Source) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
-	Register(mux, src)
+	Register(mux, src, nil)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
@@ -270,7 +270,7 @@ func TestSaturationFailsOpen(t *testing.T) {
 	src := newMapSource()
 	src.Store(synthKey(2), testEval(2))
 	mux := http.NewServeMux()
-	Register(mux, src)
+	Register(mux, src, nil)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case entered <- struct{}{}:

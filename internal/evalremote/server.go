@@ -2,11 +2,13 @@ package evalremote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 
 	"xpscalar/internal/evalengine"
 	"xpscalar/internal/evalstore"
+	"xpscalar/internal/tracing"
 )
 
 // maxLookupKeys bounds one batched lookup — far above any lockstep
@@ -25,6 +27,13 @@ type Source interface {
 	Store(key evalengine.Key, val evalengine.Eval)
 }
 
+// CtxSource is the optional context-aware read face of a Source: when a
+// handler span is open, the server routes lookups through it so the
+// source can record child spans (the disk probe) under the request.
+type CtxSource interface {
+	LookupCtx(ctx context.Context, key evalengine.Key) (evalengine.Eval, bool)
+}
+
 // EngineSource serves an engine's memory LRU backed by its local disk
 // store. It deliberately composes only LOCAL tiers: serving through the
 // engine's full backend chain would re-enter a remote client and let
@@ -39,13 +48,24 @@ type EngineSource struct {
 
 // Lookup implements Source.
 func (s EngineSource) Lookup(key evalengine.Key) (evalengine.Eval, bool) {
+	return s.LookupCtx(context.Background(), key)
+}
+
+// LookupCtx implements CtxSource: a disk probe under an open handler span
+// is recorded as an eval.disk child, so a merged trace shows which tier
+// of the owning peer answered.
+func (s EngineSource) LookupCtx(ctx context.Context, key evalengine.Key) (evalengine.Eval, bool) {
 	if s.Engine != nil {
 		if val, ok := s.Engine.Peek(key); ok {
 			return val, true
 		}
 	}
 	if s.Disk != nil {
-		return s.Disk.Get(key)
+		h := tracing.FromContext(ctx)
+		sp := h.Begin(tracing.KindEvalDisk, shortKey(key), 0)
+		val, ok := s.Disk.Get(key)
+		h.End(sp)
+		return val, ok
 	}
 	return evalengine.Eval{}, false
 }
@@ -60,20 +80,42 @@ func (s EngineSource) Store(key evalengine.Key, val evalengine.Eval) {
 	}
 }
 
+// shortKey is the span-name form of a cache key: enough hex to correlate
+// across processes without bloating every span line.
+func shortKey(k evalengine.Key) string { return k.String()[:8] }
+
+// lookup routes through the source's context-aware face when both a
+// handler span and the face exist.
+func lookup(ctx context.Context, src Source, key evalengine.Key) (evalengine.Eval, bool) {
+	if cs, ok := src.(CtxSource); ok {
+		return cs.LookupCtx(ctx, key)
+	}
+	return src.Lookup(key)
+}
+
 // Register mounts the cache routes on mux. The record body format is
 // evalstore's exact on-disk encoding (versioned header + gob), written
 // and read through EncodeRecord/DecodeRecord. A record that fails to
 // decode is a 400; a miss is a 404; PUT trusts the fleet to address
 // records correctly (keys are content hashes of the request, not the
 // record, so the server cannot re-derive them).
-func Register(mux *http.ServeMux, src Source) {
+//
+// rec, when non-nil, records one serve.* span per handler invocation,
+// stamped with the caller's propagated trace context (trace ID, remote
+// parent span, job ID) — the server half of cross-process tracing. A nil
+// recorder keeps every handler at its uninstrumented cost.
+func Register(mux *http.ServeMux, src Source, rec *tracing.Recorder) {
 	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key, ok := evalengine.ParseKey(r.PathValue("key"))
 		if !ok {
 			http.Error(w, "bad key", http.StatusBadRequest)
 			return
 		}
-		val, ok := src.Lookup(key)
+		h := tracing.Root(rec)
+		sp := h.BeginRemote(tracing.KindServeGet, shortKey(key), 1, tracing.Extract(r.Header))
+		defer h.End(sp)
+		ctx := tracing.ChildContext(tracing.NewContext(r.Context(), rec), sp)
+		val, ok := lookup(ctx, src, key)
 		if !ok {
 			http.Error(w, "miss", http.StatusNotFound)
 			return
@@ -93,6 +135,9 @@ func Register(mux *http.ServeMux, src Source) {
 			http.Error(w, "bad key", http.StatusBadRequest)
 			return
 		}
+		h := tracing.Root(rec)
+		sp := h.BeginRemote(tracing.KindServePut, shortKey(key), 1, tracing.Extract(r.Header))
+		defer h.End(sp)
 		val, err := evalstore.DecodeRecord(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
 			http.Error(w, "bad record", http.StatusBadRequest)
@@ -113,13 +158,17 @@ func Register(mux *http.ServeMux, src Source) {
 			http.Error(w, "too many keys", http.StatusBadRequest)
 			return
 		}
+		h := tracing.Root(rec)
+		sp := h.BeginRemote(tracing.KindServeLookup, "", int64(len(lr.Keys)), tracing.Extract(r.Header))
+		defer h.End(sp)
+		ctx := tracing.ChildContext(tracing.NewContext(r.Context(), rec), sp)
 		hits := make(map[string][]byte)
 		for _, hex := range lr.Keys {
 			key, ok := evalengine.ParseKey(hex)
 			if !ok {
 				continue // a malformed key is that key's miss, not the batch's failure
 			}
-			val, ok := src.Lookup(key)
+			val, ok := lookup(ctx, src, key)
 			if !ok {
 				continue
 			}

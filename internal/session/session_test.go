@@ -4,10 +4,13 @@ import (
 	"context"
 	"testing"
 
+	"strings"
+
 	"xpscalar/internal/explore"
 	"xpscalar/internal/power"
 	"xpscalar/internal/sim"
 	"xpscalar/internal/tech"
+	"xpscalar/internal/telemetry"
 	"xpscalar/internal/workload"
 )
 
@@ -77,5 +80,40 @@ func TestSessionExploreWiresEngine(t *testing.T) {
 	}
 	if st := s.Stats(); st.Requests == 0 {
 		t.Fatal("exploration did not run through the session's engine")
+	}
+}
+
+// Regression for the session-reset telemetry trap: each SetDefault swap
+// re-runs EnableTelemetry against the same process-wide registry, which
+// used to keep the first engine's Func closures — scrapes then read a
+// dead engine's counters (and any kind drift panicked). Re-registration
+// must be panic-free and follow the live session.
+func TestEnableTelemetryAcrossSetDefaultResets(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+
+	Default().EnableTelemetry(reg)
+
+	// Reset the default session, as cli teardown/tests do, and wire the
+	// replacement into the same registry. This must not panic.
+	SetDefault(nil)
+	sess := Default()
+	sess.EnableTelemetry(reg)
+
+	// Drive one evaluation through the NEW session; the registry's request
+	// counter must see it (latest-wins), not the dead engine's zero.
+	tp := tech.Default()
+	cfg := sim.InitialConfig(tp)
+	p, _ := workload.ByName("gzip")
+	if _, err := sess.Evaluate(context.Background(), cfg, p, 2000, tp, power.ObjIPT); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "xpscalar_eval_requests_total 1") {
+		t.Errorf("scrape does not follow the live session's engine:\n%s", sb.String())
 	}
 }

@@ -142,9 +142,14 @@ func (RunSummary) Kind() string { return "summary" }
 
 // Envelope is the wire form of one trace line.
 type Envelope struct {
-	Event string          `json:"event"`
-	Seq   uint64          `json:"seq"`
-	TNs   int64           `json:"t_ns"`
+	Event string `json:"event"`
+	Seq   uint64 `json:"seq"`
+	TNs   int64  `json:"t_ns"`
+	// Trace is the fleet-unique trace ID of the work that produced the
+	// event, present when the sink was bound to one (an xpserve job's
+	// event stream, a CLI run with tracing on). It lets multi-process
+	// trace tooling correlate JSONL events with span streams.
+	Trace string          `json:"trace,omitempty"`
 	Data  json.RawMessage `json:"data"`
 }
 
@@ -177,12 +182,13 @@ func (e Envelope) Decode() (Event, error) {
 // nil *Sink is a valid no-op sink, so instrumented code never needs to
 // guard emission; errors are sticky and reported by Close.
 type Sink struct {
-	mu    sync.Mutex
-	bw    *bufio.Writer
-	c     io.Closer
-	seq   uint64
-	start time.Time
-	err   error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	c       io.Closer
+	seq     uint64
+	start   time.Time
+	traceID string
+	err     error
 }
 
 // NewSink wraps a writer. If w also implements io.Closer, Close closes it.
@@ -218,7 +224,7 @@ func (s *Sink) Emit(e Event) {
 		s.err = fmt.Errorf("telemetry: encoding %s event: %w", e.Kind(), err)
 		return
 	}
-	env := Envelope{Event: e.Kind(), Seq: s.seq, TNs: time.Since(s.start).Nanoseconds(), Data: data}
+	env := Envelope{Event: e.Kind(), Seq: s.seq, TNs: time.Since(s.start).Nanoseconds(), Trace: s.traceID, Data: data}
 	line, err := json.Marshal(env)
 	if err != nil {
 		s.err = fmt.Errorf("telemetry: encoding %s envelope: %w", e.Kind(), err)
@@ -229,6 +235,18 @@ func (s *Sink) Emit(e Event) {
 	if _, err := s.bw.Write(line); err != nil {
 		s.err = err
 	}
+}
+
+// SetTraceID binds the sink to a trace: every envelope emitted afterwards
+// carries the ID. Safe on a nil sink; call before the first Emit for a
+// fully stamped stream.
+func (s *Sink) SetTraceID(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.traceID = id
+	s.mu.Unlock()
 }
 
 // Flush pushes everything buffered through to the underlying writer. Live

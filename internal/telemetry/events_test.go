@@ -147,3 +147,31 @@ func TestReadEventsBadLine(t *testing.T) {
 		t.Error("malformed trace line did not fail")
 	}
 }
+
+// A sink bound to a trace stamps every subsequent envelope with the ID —
+// the JSONL half of cross-process trace correlation.
+func TestSinkTraceStamping(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Emit(ChainResult{Workload: "gzip"})
+	s.SetTraceID("deadbeefcafef00d")
+	s.Emit(RunSummary{Requests: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	if events[0].Trace != "" {
+		t.Errorf("pre-bind envelope stamped %q", events[0].Trace)
+	}
+	if events[1].Trace != "deadbeefcafef00d" {
+		t.Errorf("post-bind envelope stamped %q", events[1].Trace)
+	}
+	var nilSink *Sink
+	nilSink.SetTraceID("x") // must not panic
+}

@@ -271,7 +271,10 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 // time — the bridge for layers that already keep their own atomic counters
 // (the evaluation engine, the worker pool). kind must be "counter" or
 // "gauge" and selects the exported Prometheus type. Re-registering an
-// existing name keeps the first function.
+// existing func metric with the same kind replaces the function (latest
+// wins): func metrics close over their producer, so when the producer is
+// replaced — a session reset swapping the engine under the process-default
+// registry — the scrape must follow the live object, not a stale closure.
 func (r *Registry) Func(name, help, kind string, fn func() float64) {
 	if kind != "counter" && kind != "gauge" {
 		panic(fmt.Sprintf("telemetry: func metric %s has kind %q, want counter or gauge", name, kind))
@@ -285,6 +288,8 @@ func (r *Registry) Func(name, help, kind string, fn func() float64) {
 		if m.fn == nil || m.kind != kind {
 			panic(fmt.Sprintf("telemetry: %s already registered as %s", name, m.kind))
 		}
+		m.help = help
+		m.fn = fn
 		return
 	}
 	r.metrics[name] = &metric{name: name, help: help, kind: kind, fn: fn}

@@ -188,3 +188,28 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+// Func metrics close over their producer, so re-registration must be
+// latest-wins: after a producer swap (a session reset replacing the engine
+// under the process-default registry) the scrape has to follow the live
+// object — and must never panic on the duplicate name.
+func TestFuncReRegistrationLatestWins(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.Func("xp_live", "", "gauge", func() float64 { return v })
+	r.Func("xp_live", "", "gauge", func() float64 { return v * 10 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "xp_live 10") {
+		t.Errorf("re-registered func metric reads the stale closure:\n%s", sb.String())
+	}
+	// Kind mismatch on a func metric is still a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering xp_live as a counter func did not panic")
+		}
+	}()
+	r.Func("xp_live", "", "counter", func() float64 { return 0 })
+}

@@ -28,13 +28,30 @@ type Meta struct {
 	// Spans is the number of span lines that follow (informational; readers
 	// must tolerate fewer from interrupted runs).
 	Spans int `json:"spans"`
+	// TraceID is the recorder's fleet-unique trace ID: the default trace
+	// every span in the stream belongs to unless a span carries its own
+	// (server streams interleave many jobs' traces). Merged exporters use
+	// it to resolve cross-process parent references.
+	TraceID string `json:"trace_id,omitempty"`
+	// OriginUnixNs is the wall-clock instant (UnixNano) of the stream's
+	// zero timestamp, aligning streams from different processes on one
+	// time axis.
+	OriginUnixNs int64 `json:"origin_unix_ns,omitempty"`
 }
 
 // WriteSpans writes a span stream: the header, then one span per line.
 func WriteSpans(w io.Writer, tool string, spans []Span) error {
+	return WriteSpansMeta(w, Meta{Tool: tool}, spans)
+}
+
+// WriteSpansMeta writes a span stream with an explicit header, so callers
+// can stamp trace identity and origin. Stream and Spans are filled here.
+func WriteSpansMeta(w io.Writer, meta Meta, spans []Span) error {
+	meta.Stream = streamMagic
+	meta.Spans = len(spans)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(Meta{Stream: streamMagic, Tool: tool, Spans: len(spans)}); err != nil {
+	if err := enc.Encode(meta); err != nil {
 		return fmt.Errorf("tracing: span stream header: %w", err)
 	}
 	for i, s := range spans {
@@ -79,6 +96,11 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+	// FlowID and BindPoint are set only on flow events ("s"/"f" phases)
+	// emitted by the merged exporter; omitempty keeps single-process
+	// output byte-identical to the pre-merge format.
+	FlowID int    `json:"id,omitempty"`
+	Bind   string `json:"bp,omitempty"`
 }
 
 // WriteChromeTrace exports spans as a Chrome trace-event JSON document
@@ -128,6 +150,12 @@ func WriteChromeTrace(w io.Writer, tool string, spans []Span) error {
 		})
 	}
 
+	return writeChromeEvents(w, events)
+}
+
+// writeChromeEvents serializes a trace-event document: one event per line
+// inside the traceEvents array, deterministic for a given event slice.
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err

@@ -1,0 +1,158 @@
+// Multi-process trace merging. Each span stream is one process's view of a
+// distributed run; the merged Chrome exporter stitches N streams into one
+// trace-event document — one process (pid) per stream with its own named
+// track group, timestamps aligned on the streams' wall-clock origins, and
+// flow arrows connecting a caller's span to the remote spans it caused
+// (resolved through Span.Trace/RemoteParent against the streams' trace
+// IDs). Output is deterministic for a given input order: streams become
+// pids in argument order, events keep span order, flow IDs count up in
+// discovery order — the golden test depends on it.
+
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stream pairs one span stream's header with its spans — one process's
+// contribution to a merged trace.
+type Stream struct {
+	Meta  Meta
+	Spans []Span
+}
+
+// flowEdge is one resolved cross-process parent reference.
+type flowEdge struct {
+	srcPid int
+	src    Span
+	dstPid int
+	dst    Span
+}
+
+// WriteChromeTraceMerged exports N span streams as one Chrome trace-event
+// JSON document: one pid per stream (named after the stream's tool), one
+// named thread per track within it, and flow events for every span whose
+// remote parent resolves into another stream. Timestamps are aligned by
+// the streams' wall-clock origins; streams without an origin stay at their
+// own zero (deterministic test fixtures).
+func WriteChromeTraceMerged(w io.Writer, streams []Stream) error {
+	// Align on the earliest known origin so the merged axis starts near 0.
+	var minOrigin int64
+	for _, st := range streams {
+		if o := st.Meta.OriginUnixNs; o > 0 && (minOrigin == 0 || o < minOrigin) {
+			minOrigin = o
+		}
+	}
+	offsetNs := func(m Meta) int64 {
+		if m.OriginUnixNs > 0 && minOrigin > 0 {
+			return m.OriginUnixNs - minOrigin
+		}
+		return 0
+	}
+
+	// Index streams by trace ID and spans by ID for flow resolution.
+	byTrace := map[string]int{}
+	for i, st := range streams {
+		if id := st.Meta.TraceID; id != "" {
+			if _, dup := byTrace[id]; !dup {
+				byTrace[id] = i
+			}
+		}
+	}
+	spanByID := make([]map[SpanID]Span, len(streams))
+	for i, st := range streams {
+		spanByID[i] = make(map[SpanID]Span, len(st.Spans))
+		for _, s := range st.Spans {
+			spanByID[i][s.ID] = s
+		}
+	}
+
+	var events []chromeEvent
+	var flows []flowEdge
+	for i, st := range streams {
+		pid := i + 1
+		name := st.Meta.Tool
+		if name == "" {
+			name = fmt.Sprintf("process %d", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		tracks := map[int32]bool{}
+		for _, s := range st.Spans {
+			tracks[s.Track] = true
+		}
+		order := make([]int32, 0, len(tracks))
+		for t := range tracks {
+			order = append(order, t)
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+		for _, t := range order {
+			tname := "main"
+			if t > 0 {
+				tname = fmt.Sprintf("worker %d", t-1)
+			}
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: int(t),
+				Args: map[string]any{"name": tname},
+			})
+		}
+	}
+	for i, st := range streams {
+		pid := i + 1
+		off := offsetNs(st.Meta)
+		for _, s := range st.Spans {
+			name := s.Kind
+			if s.Name != "" {
+				name = s.Kind + " " + s.Name
+			}
+			args := map[string]any{"id": uint64(s.ID), "parent": uint64(s.Parent), "arg": s.Arg}
+			if s.Trace != "" {
+				args["trace"] = s.Trace
+			}
+			if s.Job != "" {
+				args["job"] = s.Job
+			}
+			if s.RemoteParent != 0 {
+				args["remote_parent"] = uint64(s.RemoteParent)
+			}
+			events = append(events, chromeEvent{
+				Name: name,
+				Cat:  s.Kind,
+				Ph:   "X",
+				Ts:   float64(s.Start+off) / 1e3,
+				Dur:  float64(s.DurNs()) / 1e3,
+				Pid:  pid,
+				Tid:  int(s.Track),
+				Args: args,
+			})
+			if s.RemoteParent != 0 && s.Trace != "" {
+				if j, ok := byTrace[s.Trace]; ok && j != i {
+					if src, ok := spanByID[j][s.RemoteParent]; ok {
+						flows = append(flows, flowEdge{srcPid: j + 1, src: src, dstPid: pid, dst: s})
+					}
+				}
+			}
+		}
+	}
+	for fi, f := range flows {
+		srcOff := offsetNs(streams[f.srcPid-1].Meta)
+		dstOff := offsetNs(streams[f.dstPid-1].Meta)
+		events = append(events,
+			chromeEvent{
+				Name: "remote", Cat: "remote", Ph: "s",
+				Ts:  float64(f.src.Start+srcOff) / 1e3,
+				Pid: f.srcPid, Tid: int(f.src.Track), FlowID: fi + 1,
+			},
+			chromeEvent{
+				Name: "remote", Cat: "remote", Ph: "f",
+				Ts:  float64(f.dst.Start+dstOff) / 1e3,
+				Pid: f.dstPid, Tid: int(f.dst.Track), FlowID: fi + 1, Bind: "e",
+			},
+		)
+	}
+	return writeChromeEvents(w, events)
+}

@@ -1,0 +1,132 @@
+// Cross-process trace propagation. A SpanContext is the serializable slice
+// of a trace — trace ID, parent span ID, job ID — that one process hands to
+// another so the callee's spans can be stitched back under the caller's in
+// a merged view. The wire format is three HTTP headers; Inject reads the
+// context's current position in the span tree and writes them, Extract
+// parses them on the far side, and Handle.BeginRemote stamps the resulting
+// SpanContext into the server-side span.
+//
+// The disabled path stays free: when the context carries no recorder,
+// Inject returns after one context lookup without touching the header map,
+// preserving the package's 0 allocs/op contract (guarded by
+// TestDisabledZeroAllocs and BenchmarkDisabledPropagation).
+
+package tracing
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The propagation headers. All are optional except the trace ID: a request
+// without X-Xpscalar-Trace-Id carries no trace context at all.
+const (
+	// HeaderTraceID carries the fleet-unique trace ID (16 hex chars).
+	HeaderTraceID = "X-Xpscalar-Trace-Id"
+	// HeaderParentSpan carries the caller's current span ID (decimal),
+	// meaningful within the recorder identified by the trace ID.
+	HeaderParentSpan = "X-Xpscalar-Parent-Span"
+	// HeaderJobID carries the xpserve job ID the work belongs to.
+	HeaderJobID = "X-Xpscalar-Job-Id"
+)
+
+// SpanContext is the serializable position in a distributed trace: which
+// trace the work belongs to, which span in the originating recorder is the
+// logical parent, and which xpserve job (if any) the work serves. The zero
+// value means "no trace context".
+type SpanContext struct {
+	TraceID string
+	Span    SpanID
+	Job     string
+}
+
+// Valid reports whether sc carries a trace at all.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" }
+
+// NewTraceID returns a fresh fleet-unique trace ID: 16 lower-case hex
+// characters from a CSPRNG, with a clock-derived fallback if the system
+// randomness source fails (uniqueness is best-effort, not security).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return strconv.FormatUint(uint64(time.Now().UnixNano()), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// jobKey carries a job ID through a context.
+type jobKey struct{}
+
+// WithJobID returns ctx carrying the xpserve job ID, so spans and
+// propagation headers produced under it can be attributed to the job.
+func WithJobID(ctx context.Context, job string) context.Context {
+	if job == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, jobKey{}, job)
+}
+
+// JobIDFromContext returns the context's job ID ("" when none).
+func JobIDFromContext(ctx context.Context) string {
+	job, _ := ctx.Value(jobKey{}).(string)
+	return job
+}
+
+// SpanContextOf captures the context's current trace position: the
+// recorder's trace ID, the span new children would attach under, and the
+// job ID. The zero SpanContext when the context carries no recorder or the
+// recorder has no trace ID.
+func SpanContextOf(ctx context.Context) SpanContext {
+	h := FromContext(ctx)
+	if h.rec == nil {
+		return SpanContext{}
+	}
+	return SpanContext{
+		TraceID: h.rec.TraceID(),
+		Span:    h.parent,
+		Job:     JobIDFromContext(ctx),
+	}
+}
+
+// Inject writes the context's trace position into hdr. When the context
+// carries no recorder (tracing disabled) it returns without touching hdr
+// and without allocating.
+func Inject(ctx context.Context, hdr http.Header) {
+	h := FromContext(ctx)
+	if h.rec == nil {
+		return
+	}
+	sc := SpanContext{TraceID: h.rec.TraceID(), Span: h.parent, Job: JobIDFromContext(ctx)}
+	if !sc.Valid() {
+		return
+	}
+	hdr.Set(HeaderTraceID, sc.TraceID)
+	if sc.Span != 0 {
+		hdr.Set(HeaderParentSpan, strconv.FormatUint(uint64(sc.Span), 10))
+	}
+	if sc.Job != "" {
+		hdr.Set(HeaderJobID, sc.Job)
+	}
+}
+
+// Extract parses the propagation headers. The zero SpanContext when the
+// request carries none; a malformed parent-span header degrades to 0
+// rather than failing the request — propagation is observability, never a
+// correctness dependency.
+func Extract(hdr http.Header) SpanContext {
+	traceID := hdr.Get(HeaderTraceID)
+	if traceID == "" {
+		return SpanContext{}
+	}
+	sc := SpanContext{TraceID: traceID, Job: hdr.Get(HeaderJobID)}
+	if v := hdr.Get(HeaderParentSpan); v != "" {
+		if id, err := strconv.ParseUint(v, 10, 64); err == nil {
+			sc.Span = SpanID(id)
+		}
+	}
+	return sc
+}

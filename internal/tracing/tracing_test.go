@@ -2,6 +2,7 @@ package tracing
 
 import (
 	"context"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -88,18 +89,26 @@ func TestEnsure(t *testing.T) {
 }
 
 // The disabled path — nil recorder, zero handle, untouched context — must
-// not allocate: it runs inside the annealing and evaluation hot loops.
+// not allocate: it runs inside the annealing and evaluation hot loops, and
+// since the propagation seam sits on the remote-cache request path, Inject
+// and SpanContextOf are held to the same contract.
 func TestDisabledZeroAllocs(t *testing.T) {
 	ctx := context.Background()
 	h := FromContext(ctx)
+	hdr := http.Header{}
 	allocs := testing.AllocsPerRun(100, func() {
 		s := h.Begin(KindStep, "gzip", 3)
 		_ = ChildContext(ctx, s)
 		_ = WithTrack(ctx, 1)
+		Inject(ctx, hdr)
+		_ = SpanContextOf(ctx)
 		h.End(s)
 	})
 	if allocs != 0 {
 		t.Errorf("disabled span path allocates %v per op, want 0", allocs)
+	}
+	if len(hdr) != 0 {
+		t.Errorf("disabled Inject wrote headers: %v", hdr)
 	}
 }
 

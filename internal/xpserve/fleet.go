@@ -1,0 +1,381 @@
+// Fleet-wide status aggregation. Every xpserved self-reports over
+// GET /v1/status — build identity, scheduler capacity, per-state job
+// census, evaluation-cache counters. A Fleet polls the same peer set the
+// remote cache tier shards over (-cache-peers) with bounded fan-out and a
+// per-peer timeout, merging the answers into one FleetStatus: per-peer
+// health plus fleet-wide job and cache totals. Polling is fail-open — an
+// unreachable peer is reported down, never an error, so one dead process
+// cannot blind the view of the rest. GET /v1/fleet serves the merged
+// document; the same snapshot (TTL-cached so metric scrapes do not hammer
+// the fleet) backs the xpscalar_fleet_* gauges.
+
+package xpserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"xpscalar/internal/evalengine"
+	"xpscalar/internal/telemetry"
+)
+
+// CacheStats is the compact wire form of a session's evaluation-cache
+// counters — the subset of evalengine.Stats a fleet operator watches:
+// request classification, tier hit/miss split, and tier occupancy.
+type CacheStats struct {
+	Requests    uint64 `json:"requests"`
+	Hits        uint64 `json:"hits"`
+	Deduped     uint64 `json:"deduped"`
+	Misses      uint64 `json:"misses"`
+	DiskHits    uint64 `json:"disk_hits"`
+	DiskMisses  uint64 `json:"disk_misses"`
+	MemEntries  uint64 `json:"mem_entries"`
+	DiskEntries uint64 `json:"disk_entries"`
+	DiskBytes   uint64 `json:"disk_bytes"`
+}
+
+func cacheStatsOf(st evalengine.Stats) CacheStats {
+	return CacheStats{
+		Requests:    st.Requests,
+		Hits:        st.Hits,
+		Deduped:     st.Deduped,
+		Misses:      st.Misses,
+		DiskHits:    st.DiskHits,
+		DiskMisses:  st.DiskMisses,
+		MemEntries:  st.CacheEntries,
+		DiskEntries: st.Disk.Entries,
+		DiskBytes:   st.Disk.Bytes,
+	}
+}
+
+func (c *CacheStats) add(o CacheStats) {
+	c.Requests += o.Requests
+	c.Hits += o.Hits
+	c.Deduped += o.Deduped
+	c.Misses += o.Misses
+	c.DiskHits += o.DiskHits
+	c.DiskMisses += o.DiskMisses
+	c.MemEntries += o.MemEntries
+	c.DiskEntries += o.DiskEntries
+	c.DiskBytes += o.DiskBytes
+}
+
+func (c *JobCounts) add(o JobCounts) {
+	c.Queued += o.Queued
+	c.Running += o.Running
+	c.Done += o.Done
+	c.Failed += o.Failed
+	c.Cancelled += o.Cancelled
+}
+
+// SelfStatus is one process's self-report, served at GET /v1/status and
+// polled by peers building the fleet view.
+type SelfStatus struct {
+	Tool      string    `json:"tool"`
+	PID       int       `json:"pid"`
+	GoVersion string    `json:"go_version"`
+	Revision  string    `json:"revision,omitempty"`
+	StartedAt time.Time `json:"started_at"`
+
+	// TraceID identifies the process's span stream: serve.* spans this
+	// peer records for remote callers live under it.
+	TraceID string `json:"trace_id,omitempty"`
+
+	Capacity Capacity   `json:"capacity"`
+	Jobs     JobCounts  `json:"jobs"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// SelfStatus snapshots this scheduler's process.
+func (s *Scheduler) SelfStatus() SelfStatus {
+	st := SelfStatus{
+		Tool:      "xpserved",
+		PID:       os.Getpid(),
+		GoVersion: runtime.Version(),
+		Revision:  vcsRevision(),
+		StartedAt: s.started,
+		Capacity:  s.Capacity(),
+		Jobs:      s.JobCounts(),
+		Cache:     cacheStatsOf(s.sess.Stats()),
+	}
+	if rec := s.sess.Recorder(); rec != nil {
+		st.TraceID = rec.TraceID()
+	}
+	return st
+}
+
+// vcsRevision is the build's VCS revision when the binary was built from
+// a checkout; empty otherwise.
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// PeerStatus is one peer's slot in the fleet view: its self-report when
+// it answered, the failure otherwise.
+type PeerStatus struct {
+	Peer      string      `json:"peer"`
+	Reachable bool        `json:"reachable"`
+	Error     string      `json:"error,omitempty"`
+	Status    *SelfStatus `json:"status,omitempty"`
+}
+
+// FleetStatus is the merged fleet view: this process plus every polled
+// peer, with job and cache totals summed over self and the reachable
+// peers.
+type FleetStatus struct {
+	Self      SelfStatus   `json:"self"`
+	Peers     []PeerStatus `json:"peers,omitempty"`
+	Reachable int          `json:"reachable"`
+	Jobs      JobCounts    `json:"jobs"`
+	Cache     CacheStats   `json:"cache"`
+}
+
+// FleetOptions sizes a Fleet poller. The zero value selects defaults.
+type FleetOptions struct {
+	// Timeout bounds each peer poll (default 2s).
+	Timeout time.Duration
+	// TTL bounds how stale the cached snapshot behind the fleet gauges
+	// may be before a scrape re-polls (default 5s).
+	TTL time.Duration
+	// Parallel bounds the poll fan-out (default 4).
+	Parallel int
+	// Client overrides the HTTP client (default: a dedicated one).
+	Client *http.Client
+}
+
+// Fleet polls a peer set and merges their self-reports.
+type Fleet struct {
+	sched    *Scheduler
+	peers    []string // normalized base URLs
+	client   *http.Client
+	timeout  time.Duration
+	ttl      time.Duration
+	parallel int
+
+	mu      sync.Mutex
+	cached  *FleetStatus
+	fetched time.Time
+}
+
+// NewFleet builds a poller over sched's process and the given peers
+// (host:port or full URLs — the same strings as -cache-peers).
+func NewFleet(sched *Scheduler, peers []string, o FleetOptions) *Fleet {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.TTL <= 0 {
+		o.TTL = 5 * time.Second
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 4
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	f := &Fleet{
+		sched:    sched,
+		client:   o.Client,
+		timeout:  o.Timeout,
+		ttl:      o.TTL,
+		parallel: o.Parallel,
+	}
+	for _, p := range peers {
+		if p = strings.TrimSpace(p); p != "" {
+			f.peers = append(f.peers, normalizePeer(p))
+		}
+	}
+	return f
+}
+
+func normalizePeer(p string) string {
+	if !strings.Contains(p, "://") {
+		p = "http://" + p
+	}
+	return strings.TrimRight(p, "/")
+}
+
+// Peers returns the normalized peer URLs this fleet polls.
+func (f *Fleet) Peers() []string { return append([]string(nil), f.peers...) }
+
+// Status polls every peer (bounded fan-out, per-peer timeout) and returns
+// the merged view. It never fails: unreachable peers are marked down and
+// excluded from the totals.
+func (f *Fleet) Status(ctx context.Context) FleetStatus {
+	fs := FleetStatus{Self: f.sched.SelfStatus()}
+	fs.Jobs = fs.Self.Jobs
+	fs.Cache = fs.Self.Cache
+	if len(f.peers) == 0 {
+		return fs
+	}
+	fs.Peers = make([]PeerStatus, len(f.peers))
+	sem := make(chan struct{}, f.parallel)
+	var wg sync.WaitGroup
+	for i, peer := range f.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fs.Peers[i] = f.poll(ctx, peer)
+		}(i, peer)
+	}
+	wg.Wait()
+	for i := range fs.Peers {
+		if fs.Peers[i].Reachable {
+			fs.Reachable++
+			if st := fs.Peers[i].Status; st != nil {
+				fs.Jobs.add(st.Jobs)
+				fs.Cache.add(st.Cache)
+			}
+		}
+	}
+	return fs
+}
+
+// poll fetches one peer's self-report; any failure becomes a down mark.
+func (f *Fleet) poll(ctx context.Context, peer string) PeerStatus {
+	ps := PeerStatus{Peer: peer}
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/status", nil)
+	if err != nil {
+		ps.Error = err.Error()
+		return ps
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		ps.Error = err.Error()
+		return ps
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		ps.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		return ps
+	}
+	var st SelfStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		ps.Error = "decode: " + err.Error()
+		return ps
+	}
+	ps.Reachable = true
+	ps.Status = &st
+	return ps
+}
+
+// Cached returns the last snapshot when it is younger than the TTL,
+// re-polling otherwise. This is what metric scrapes read, so a tight
+// scrape interval costs the fleet one poll per TTL, not one per scrape.
+func (f *Fleet) Cached(ctx context.Context) FleetStatus {
+	f.mu.Lock()
+	if f.cached != nil && time.Since(f.fetched) < f.ttl {
+		fs := *f.cached
+		f.mu.Unlock()
+		return fs
+	}
+	f.mu.Unlock()
+	fs := f.Status(ctx)
+	f.mu.Lock()
+	f.cached = &fs
+	f.fetched = time.Now()
+	f.mu.Unlock()
+	return fs
+}
+
+// EnableTelemetry registers the fleet gauges. Each scrape reads the
+// TTL-cached snapshot, so the gauges are cheap even under aggressive
+// scraping and at most TTL stale.
+func (f *Fleet) EnableTelemetry(reg *telemetry.Registry) {
+	snap := func(get func(FleetStatus) float64) func() float64 {
+		return func() float64 { return get(f.Cached(context.Background())) }
+	}
+	reg.Func("xpscalar_fleet_peers", "peers this process polls for fleet status", "gauge",
+		func() float64 { return float64(len(f.peers)) })
+	reg.Func("xpscalar_fleet_peers_reachable", "polled peers that answered the last fleet poll", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Reachable) }))
+	reg.Func("xpscalar_fleet_jobs_queued", "jobs queued fleet-wide (self + reachable peers)", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Jobs.Queued) }))
+	reg.Func("xpscalar_fleet_jobs_running", "jobs running fleet-wide (self + reachable peers)", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Jobs.Running) }))
+	reg.Func("xpscalar_fleet_cache_hits", "evaluation-cache memory hits fleet-wide", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Cache.Hits) }))
+	reg.Func("xpscalar_fleet_cache_misses", "evaluation-cache misses fleet-wide", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Cache.Misses) }))
+	reg.Func("xpscalar_fleet_cache_entries", "evaluation-cache entries held fleet-wide (memory + disk)", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Cache.MemEntries + fs.Cache.DiskEntries) }))
+	reg.Func("xpscalar_fleet_cache_disk_bytes", "persistent-tier bytes held fleet-wide", "gauge",
+		snap(func(fs FleetStatus) float64 { return float64(fs.Cache.DiskBytes) }))
+}
+
+// SetFleet attaches a fleet poller; Handler then serves the merged view
+// at GET /v1/fleet. Without one, /v1/fleet serves a self-only view.
+func (s *Scheduler) SetFleet(f *Fleet) {
+	s.mu.Lock()
+	s.fleet = f
+	s.mu.Unlock()
+}
+
+// ReadyProbe is one readiness dependency: Check returns nil when the
+// dependency can serve. Probes must be cheap — they run on every /readyz.
+type ReadyProbe struct {
+	Name  string
+	Check func() error
+}
+
+// SetReadinessProbes attaches the dependency probes /readyz consults
+// beyond the scheduler's own admission state (e.g. the disk tier's
+// directory, the remote tier's breaker census).
+func (s *Scheduler) SetReadinessProbes(probes ...ReadyProbe) {
+	s.mu.Lock()
+	s.probes = probes
+	s.mu.Unlock()
+}
+
+// Readiness is the /readyz document.
+type Readiness struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Readiness decides whether this process should receive new work:
+// not shutting down, backlog headroom available, and every attached
+// dependency probe passing. Liveness stays separate (/healthz): a
+// saturated backlog is a healthy process that wants no more work, not a
+// process to restart.
+func (s *Scheduler) Readiness() Readiness {
+	var reasons []string
+	c := s.Capacity()
+	if c.ShuttingDown {
+		reasons = append(reasons, "shutting down")
+	}
+	if c.Queued >= c.Backlog {
+		reasons = append(reasons, fmt.Sprintf("backlog saturated (%d/%d)", c.Queued, c.Backlog))
+	}
+	s.mu.Lock()
+	probes := s.probes
+	s.mu.Unlock()
+	for _, p := range probes {
+		if err := p.Check(); err != nil {
+			reasons = append(reasons, p.Name+": "+err.Error())
+		}
+	}
+	return Readiness{Ready: len(reasons) == 0, Reasons: reasons}
+}

@@ -6,11 +6,17 @@
 //	GET    /v1/jobs/{id}        one job's status (+ result once done)
 //	GET    /v1/jobs/{id}/events tail the job's JSONL telemetry stream
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/status           this process's self-report
+//	GET    /v1/fleet            merged fleet view (self + polled peers)
+//	GET    /readyz              readiness (503 when saturated or a probe fails)
 //
 // plus the shared observability mount (/metrics, /metrics.json, /healthz,
-// /buildinfo, /debug/pprof) from the telemetry registry. Errors are JSON
-// {"error": ...} with conventional status codes: 400 malformed, 404
-// unknown job, 429 backlog full, 503 shutting down.
+// /buildinfo, /debug/pprof) from the telemetry registry. Health is split:
+// /healthz (telemetry mount) is LIVENESS — the process is up, restart it
+// if this fails; /readyz is READINESS — send it new work only on 200. A
+// full backlog or a dead cache tier flips readiness while liveness stays
+// green. Errors are JSON {"error": ...} with conventional status codes:
+// 400 malformed, 404 unknown job, 429 backlog full, 503 shutting down.
 
 package xpserve
 
@@ -32,6 +38,9 @@ func (s *Scheduler) Handler(reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	if reg != nil {
 		mux.Handle("/", reg.Handler())
 	}
@@ -98,6 +107,37 @@ func (s *Scheduler) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStatus serves this process's self-report — what fleet peers poll.
+func (s *Scheduler) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.SelfStatus())
+}
+
+// handleFleet serves the merged fleet view. Without an attached poller
+// the view degrades to self-only, so the route's shape is stable whether
+// or not the process was started with peers.
+func (s *Scheduler) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	f := s.fleet
+	s.mu.Unlock()
+	if f == nil {
+		self := s.SelfStatus()
+		writeJSON(w, http.StatusOK, FleetStatus{Self: self, Jobs: self.Jobs, Cache: self.Cache})
+		return
+	}
+	writeJSON(w, http.StatusOK, f.Status(r.Context()))
+}
+
+// handleReady answers readiness: 200 when the process should receive new
+// work, 503 (with the reasons) when it should not.
+func (s *Scheduler) handleReady(w http.ResponseWriter, _ *http.Request) {
+	rd := s.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
 }
 
 // handleEvents streams the job's JSONL events from the beginning and

@@ -17,6 +17,7 @@ import (
 
 	"xpscalar/internal/session"
 	"xpscalar/internal/telemetry"
+	"xpscalar/internal/tracing"
 )
 
 // Options sizes a Scheduler. The zero value selects defaults.
@@ -41,15 +42,19 @@ var ErrNotFound = fmt.Errorf("xpserve: no such job")
 // jobs evaluate on one shared Session: tenants share its memory cache,
 // its persistent tier, and its simulation worker pool.
 type Scheduler struct {
-	sess  *session.Session
-	queue chan *Job
-	wg    sync.WaitGroup
+	sess    *session.Session
+	opts    Options // normalized: MaxJobs and Backlog are the effective bounds
+	started time.Time
+	queue   chan *Job
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []*Job // submission order, for List
 	nextID   int
 	shutdown bool
+	fleet    *Fleet
+	probes   []ReadyProbe
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -66,6 +71,8 @@ func New(sess *session.Session, o Options) *Scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		sess:       sess,
+		opts:       o,
+		started:    time.Now(),
 		queue:      make(chan *Job, o.Backlog),
 		jobs:       make(map[string]*Job),
 		baseCtx:    ctx,
@@ -97,6 +104,7 @@ func (s *Scheduler) Submit(req JobRequest) (*JobStatus, error) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
 		id:      fmt.Sprintf("job-%04d", s.nextID),
+		traceID: tracing.NewTraceID(),
 		req:     req,
 		created: time.Now(),
 		state:   StateQueued,
@@ -185,19 +193,34 @@ func (s *Scheduler) runJob(j *Job) {
 // execute dispatches on the job kind. The job's event sink wraps its
 // stream buffer; everything emitted is flushed through immediately so
 // tailing clients see events as they happen, not in 4K bursts.
+//
+// Every job carries its fleet-unique trace ID three ways: stamped on each
+// JSONL event envelope, stamped (with the job ID) on a root "job" span
+// when the session records spans, and propagated over HTTP by the
+// remote-cache client via the job-ID context — so one grep for the trace
+// ID correlates a job's events, its spans, and the serve.* spans it
+// caused on other peers.
 func (s *Scheduler) execute(j *Job) (json.RawMessage, error) {
 	sink := telemetry.NewSink(j.events)
 	defer sink.Close()
+	sink.SetTraceID(j.traceID)
 	s.mu.Lock()
 	j.sink = sink
 	s.mu.Unlock()
+	ctx := tracing.WithJobID(j.ctx, j.id)
+	if rec := s.sess.Recorder(); rec != nil {
+		h := tracing.Root(rec)
+		sp := h.BeginRemote(tracing.KindJob, j.req.Kind, 0, tracing.SpanContext{TraceID: j.traceID, Job: j.id})
+		defer h.End(sp)
+		ctx = tracing.ChildContext(tracing.NewContext(ctx, rec), sp)
+	}
 	switch j.req.Kind {
 	case KindExplore:
-		return runExplore(j.ctx, s.sess, j.req, sink)
+		return runExplore(ctx, s.sess, j.req, sink)
 	case KindMatrix:
-		return runMatrix(j.ctx, s.sess, j.req, sink)
+		return runMatrix(ctx, s.sess, j.req, sink)
 	case KindSubsetting:
-		return runSubsetting(j.ctx, s.sess, j.req, sink)
+		return runSubsetting(ctx, s.sess, j.req, sink)
 	default:
 		return nil, fmt.Errorf("xpserve: unknown job kind %q", j.req.Kind)
 	}
@@ -289,6 +312,7 @@ func (j *Job) statusLocked() JobStatus {
 		Kind:      j.req.Kind,
 		State:     j.state,
 		Error:     j.err,
+		TraceID:   j.traceID,
 		CreatedAt: j.created,
 		Events:    j.sinkEvents(),
 		Result:    j.result,
@@ -322,8 +346,73 @@ func (s *Scheduler) EnableTelemetry(reg *telemetry.Registry) {
 		}
 	}
 	reg.Func("xpserved_jobs_queued", "jobs waiting for a worker", "gauge", count(StateQueued))
+	reg.Func("xpserved_backlog_headroom", "queue slots free before submits 429", "gauge", func() float64 {
+		c := s.Capacity()
+		return float64(c.Backlog - c.Queued)
+	})
 	reg.Func("xpserved_jobs_running", "jobs currently executing", "gauge", count(StateRunning))
 	reg.Func("xpserved_jobs_done_total", "jobs completed successfully", "counter", count(StateDone))
 	reg.Func("xpserved_jobs_failed_total", "jobs that returned an error", "counter", count(StateFailed))
 	reg.Func("xpserved_jobs_cancelled_total", "jobs cancelled by clients or shutdown", "counter", count(StateCancelled))
+}
+
+// Capacity snapshots the scheduler's admission state — the fixed bounds
+// and how much of them is in use. Queued counts jobs occupying backlog
+// slots (a submit with Queued == Backlog returns 429); Running counts
+// jobs a worker currently holds.
+type Capacity struct {
+	MaxJobs      int  `json:"max_jobs"`
+	Backlog      int  `json:"backlog"`
+	Queued       int  `json:"queued"`
+	Running      int  `json:"running"`
+	ShuttingDown bool `json:"shutting_down,omitempty"`
+}
+
+// Capacity reports the scheduler's current admission state.
+func (s *Scheduler) Capacity() Capacity {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := Capacity{
+		MaxJobs:      s.opts.MaxJobs,
+		Backlog:      s.opts.Backlog,
+		Queued:       len(s.queue),
+		ShuttingDown: s.shutdown,
+	}
+	for _, j := range s.order {
+		if j.state == StateRunning {
+			c.Running++
+		}
+	}
+	return c
+}
+
+// JobCounts is the per-state job census of one scheduler.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// JobCounts tallies every job this scheduler has seen by state.
+func (s *Scheduler) JobCounts() JobCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c JobCounts
+	for _, j := range s.order {
+		switch j.state {
+		case StateQueued:
+			c.Queued++
+		case StateRunning:
+			c.Running++
+		case StateDone:
+			c.Done++
+		case StateFailed:
+			c.Failed++
+		case StateCancelled:
+			c.Cancelled++
+		}
+	}
+	return c
 }

@@ -77,6 +77,11 @@ type JobStatus struct {
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
 
+	// TraceID is the fleet-unique trace the job's spans, JSONL events and
+	// remote-cache requests are stamped with; grepping any peer's span
+	// file for it finds this job's share of the fleet's work.
+	TraceID string `json:"trace_id,omitempty"`
+
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
@@ -96,8 +101,9 @@ type JobStatus struct {
 // scheduler's lock; the running computation communicates only through
 // ctx, the event stream, and its return value.
 type Job struct {
-	id  string
-	req JobRequest
+	id      string
+	traceID string
+	req     JobRequest
 
 	created  time.Time
 	started  time.Time
